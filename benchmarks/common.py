@@ -1,0 +1,42 @@
+"""Shared plumbing for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+writes the rendered text into ``benchmarks/results/`` (so the output
+survives pytest's capture) in addition to printing it.
+
+Environment knobs:
+
+* ``REPRO_BENCH_WORKLOADS`` -- random workloads averaged per point in
+  the Figures 3-5 sweeps (default 25; the paper used 500).
+* ``REPRO_BENCH_TASKCOUNTS`` -- comma-separated task counts for the
+  sweeps (default ``5,10,...,50`` like the paper).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_workloads() -> int:
+    """Workloads per figure point (paper: 500)."""
+    return int(os.environ.get("REPRO_BENCH_WORKLOADS", "25"))
+
+
+def bench_task_counts() -> List[int]:
+    """Task counts for the Figures 3-5 x axis (paper: 5..50)."""
+    raw = os.environ.get("REPRO_BENCH_TASKCOUNTS", "")
+    if raw:
+        return [int(x) for x in raw.split(",")]
+    return list(range(5, 51, 5))
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table/figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Avionics control cluster: four nodes, global state, DM scheduling.
+
+The paper's second distributed domain (Section 2: "automotive and
+avionics control systems").  Four EMERALDS nodes share a 2 Mbit/s
+fieldbus:
+
+* **adc** -- air-data computer: samples airspeed/altitude at 20 ms and
+  publishes both on *global state channels* (state messages replicated
+  over the bus -- every node reads the freshest value locally, without
+  traps);
+* **fcc** -- flight-control computer: a 10 ms inner control loop and a
+  40 ms outer loop sharing the gain schedule behind an EMERALDS
+  semaphore; scheduled **deadline-monotonically** because its watchdog
+  task has a long period but a tight deadline (the case where DM beats
+  RM);
+* **actuators** -- elevator/aileron servo node receiving control
+  frames;
+* **monitor** -- health monitor reading both global channels at 100 ms.
+
+Prints per-node schedule health, bus statistics, the DM-vs-RM point,
+and the memory footprint of every node against a 64 KB part.
+
+Run:  python examples/avionics_cluster.py
+"""
+
+from repro import (
+    Acquire,
+    Call,
+    Compute,
+    CSDScheduler,
+    Frame,
+    Kernel,
+    OverheadModel,
+    Program,
+    Release,
+    StateRead,
+    Wait,
+    ms,
+    to_ms,
+    us,
+)
+from repro.core.rm import RMScheduler
+from repro.kernel.footprint import kernel_footprint
+from repro.net import Cluster, Fieldbus
+from repro.net.global_state import GlobalStateChannel
+
+AIRSPEED_ID = 0x08
+ALTITUDE_ID = 0x09
+ELEVATOR_ID = 0x10
+
+
+def main() -> None:
+    cluster = Cluster(Fieldbus(bit_rate_bps=2_000_000))
+
+    adc = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    fcc = Kernel(RMScheduler(OverheadModel()))  # DM keys via fp_policy
+    act = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    mon = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+
+    cluster.add_node("adc", adc)
+    cluster.add_node("fcc", fcc, accept=set())
+    cluster.add_node("act", act, accept={ELEVATOR_ID})
+    cluster.add_node("mon", mon, accept=set())
+
+    airspeed = GlobalStateChannel(
+        cluster, "airspeed", can_id=AIRSPEED_ID, writer_node="adc",
+        driver_period=ms(10), readers=["fcc", "mon"],
+    )
+    altitude = GlobalStateChannel(
+        cluster, "altitude", can_id=ALTITUDE_ID, writer_node="adc",
+        driver_period=ms(10), readers=["fcc", "mon"],
+    )
+
+    # --- air-data computer ------------------------------------------
+    tick = {"v": 0}
+
+    def sample(kernel, thread):
+        tick["v"] += 1
+        return 180 + (tick["v"] % 7)
+
+    adc.create_thread(
+        "sampler",
+        Program(
+            [
+                Compute(us(400)),
+                airspeed.publish_op(value_fn=sample),
+                altitude.publish_op(value=35_000),
+            ]
+        ),
+        period=ms(20),
+        deadline=ms(10),
+        csd_queue=0,
+    )
+
+    # --- flight-control computer (deadline-monotonic) ----------------
+    fcc.create_semaphore("gains")
+    fcc_iface = cluster.interfaces["fcc"]
+
+    def send_elevator(kernel, thread):
+        fcc_iface.transmit(
+            Frame(can_id=ELEVATOR_ID, size=4, payload=("elev", kernel.now))
+        )
+
+    fcc.create_thread(
+        "inner_loop",
+        Program(
+            [
+                StateRead(airspeed.channel_name("fcc")),
+                Acquire("gains"),
+                Compute(ms(2)),
+                Release("gains"),
+                Call(send_elevator),
+            ]
+        ),
+        period=ms(10),
+        deadline=ms(10),
+        fp_policy="dm",
+    )
+    fcc.create_thread(
+        "outer_loop",
+        Program(
+            [
+                StateRead(altitude.channel_name("fcc")),
+                Acquire("gains"),
+                Compute(ms(2)),
+                Release("gains"),
+            ]
+        ),
+        period=ms(40),
+        deadline=ms(40),
+        fp_policy="dm",
+    )
+    # The DM case: long period (200 ms) but a 4 ms deadline.  Under RM
+    # this watchdog would rank *below* both loops and miss; under DM it
+    # ranks first.
+    fcc.create_thread(
+        "watchdog",
+        Program([Compute(us(800))]),
+        period=ms(200),
+        deadline=ms(4),
+        fp_policy="dm",
+    )
+
+    # --- actuator node ------------------------------------------------
+    act_iface = cluster.interfaces["act"]
+    latencies = []
+
+    def actuate(kernel, thread):
+        while True:
+            frame = act_iface.receive()
+            if frame is None:
+                break
+            if frame.can_id != ELEVATOR_ID:
+                continue  # not ours (defensive; the filter screens these)
+            _, sent = frame.payload
+            latencies.append(kernel.now - sent)
+
+    act.create_thread(
+        "servo",
+        Program([Wait(act_iface.rx_event_name), Call(actuate), Compute(us(500))]),
+        period=ms(10),
+        deadline=ms(5),
+        csd_queue=0,
+    )
+
+    # --- monitor node ---------------------------------------------------
+    readings = []
+    mon.create_thread(
+        "health",
+        Program(
+            [
+                StateRead(airspeed.channel_name("mon")),
+                Call(lambda kern, t: readings.append(t.last_read)),
+                StateRead(altitude.channel_name("mon")),
+                Compute(ms(1)),
+            ]
+        ),
+        period=ms(100),
+        csd_queue=1,
+    )
+
+    horizon = ms(3000)
+    cluster.run_until(horizon)
+
+    print("=== avionics cluster: 4 nodes, 2 Mbit/s bus, 3 s ===\n")
+    for name, kernel in cluster.nodes.items():
+        violations = kernel.trace.deadline_violations(kernel.now)
+        print(
+            f"{name:>4}: {len(kernel.trace.jobs):4d} jobs, "
+            f"{len(violations)} deadline violations, "
+            f"kernel overhead {kernel.trace.kernel_time_total / 1e6:.2f} ms"
+        )
+    bus = cluster.bus
+    print(
+        f"\nbus: {bus.frames_delivered} frames, "
+        f"{100 * bus.utilization(horizon):.2f}% load"
+    )
+    if latencies:
+        print(
+            f"elevator command latency: {to_ms(min(latencies)):.3f}.."
+            f"{to_ms(max(latencies)):.3f} ms"
+        )
+    print(f"monitor airspeed readings (last 3): {readings[-3:]}")
+
+    from repro.core.schedulability import dm_schedulable, rm_schedulable
+    from repro.core.task import TaskSpec, Workload
+
+    fcc_workload = Workload(
+        [
+            TaskSpec(name="inner", period=ms(10), wcet=ms(2)),
+            TaskSpec(name="outer", period=ms(40), wcet=ms(2)),
+            TaskSpec(name="watchdog", period=ms(200), wcet=us(800), deadline=ms(4)),
+        ]
+    )
+    print(
+        f"\nfcc task set: RM-schedulable={rm_schedulable(fcc_workload)}, "
+        f"DM-schedulable={dm_schedulable(fcc_workload)} "
+        "(the watchdog's tight deadline is why the fcc runs DM)"
+    )
+
+    from repro.net import MessageStream, bus_response_times
+
+    streams = [
+        MessageStream(name="airspeed", can_id=AIRSPEED_ID, size=8, period=ms(20)),
+        MessageStream(name="altitude", can_id=ALTITUDE_ID, size=8, period=ms(20)),
+        MessageStream(name="elevator", can_id=ELEVATOR_ID, size=4, period=ms(10)),
+    ]
+    bounds = bus_response_times(streams, cluster.bus)
+    print("\nbus response-time analysis (worst case per stream):")
+    for name, bound in bounds.items():
+        print(f"  {name:>9}: {to_ms(bound):.3f} ms" if bound else f"  {name}: UNSCHEDULABLE")
+
+    print("\nmemory footprint per node (64 KB parts):")
+    for name, kernel in cluster.nodes.items():
+        report = kernel_footprint(kernel)
+        print(
+            f"  {name:>4}: {report.total_bytes:6d} B total "
+            f"-> fits: {report.fits(64 * 1024)}"
+        )
+    total = cluster.total_deadline_violations()
+    print(f"\ntotal deadline violations: {total}")
+    assert total == 0
+
+
+if __name__ == "__main__":
+    main()

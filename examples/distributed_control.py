@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Distributed automotive control: three EMERALDS nodes on a fieldbus.
+
+The paper's distributed targets are "5-10 nodes interconnected by a
+low-speed (1-2 Mbit/s) fieldbus network (such as automotive and
+avionics control systems)" (Section 2).  This example runs three
+kernels on a 1 Mbit/s CAN-style bus:
+
+* **sensor node** -- samples wheel speed every 10 ms and broadcasts it
+  (id 0x10, the highest bus priority) plus a lower-priority status
+  frame (id 0x40);
+* **controller node** -- its user-level network driver (woken by the
+  rx interrupt) feeds speed frames into a state-message channel; a
+  20 ms control task reads the latest speed, computes a brake command
+  behind a semaphore, and broadcasts it (id 0x20);
+* **actuator node** -- receives brake commands and drives the valve
+  task.
+
+Each node is an independent kernel (its own CPU, scheduler, and
+overhead accounting); the cluster synchronizes them through the bus's
+one-frame lookahead.  The run reports per-node deadline compliance,
+bus utilization, and end-to-end sensor-to-actuator latency.
+
+Run:  python examples/distributed_control.py
+"""
+
+from repro import (
+    Acquire,
+    Call,
+    Compute,
+    CSDScheduler,
+    Kernel,
+    OverheadModel,
+    Program,
+    Release,
+    StateRead,
+    StateWrite,
+    Wait,
+    ms,
+    to_ms,
+    us,
+)
+from repro.net import Cluster, Fieldbus, Frame, net_send
+
+SPEED_ID = 0x10
+BRAKE_ID = 0x20
+STATUS_ID = 0x40
+
+
+def build_sensor_node(cluster: Cluster) -> Kernel:
+    kernel = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    iface = cluster.add_node("sensor", kernel)
+    kernel.create_thread(
+        "sampler",
+        Program(
+            [
+                Compute(us(200)),  # read the wheel sensor
+                net_send(iface, can_id=SPEED_ID, size=4, payload=("speed", 88)),
+            ]
+        ),
+        period=ms(10),
+        deadline=ms(5),
+        csd_queue=0,
+    )
+    kernel.create_thread(
+        "status",
+        Program([Compute(us(150)), net_send(iface, can_id=STATUS_ID, size=8,
+                                            payload="status")]),
+        period=ms(100),
+        csd_queue=1,
+    )
+    return kernel
+
+
+def build_controller_node(cluster: Cluster, latencies: list) -> Kernel:
+    kernel = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    iface = cluster.add_node("controller", kernel, accept={SPEED_ID})
+    kernel.create_channel("speed", slots=4)
+    kernel.create_semaphore("gains")
+
+    def drain(kern, thread):
+        while True:
+            frame = iface.receive()
+            if frame is None:
+                break
+            kern.channels["speed"].write(frame.payload, writer_name=thread.name)
+
+    # User-level network driver (Figure 1): DP queue, tight deadline.
+    kernel.create_thread(
+        "net_driver",
+        Program([Wait(iface.rx_event_name), Call(drain), Compute(us(50))]),
+        period=ms(10),
+        deadline=ms(3),
+        csd_queue=0,
+    )
+
+    # The control law: read the latest speed, compute, send the command.
+    def stamp_send(kern, thread):
+        iface.transmit(Frame(can_id=BRAKE_ID, size=4, payload=("brake", kern.now)))
+
+    kernel.create_thread(
+        "control",
+        Program(
+            [
+                StateRead("speed"),
+                Acquire("gains"),
+                Compute(ms(1)),
+                Release("gains"),
+                Call(stamp_send),
+            ]
+        ),
+        period=ms(20),
+        deadline=ms(10),
+        csd_queue=0,
+    )
+
+    # A tuning task sharing the gain table.
+    kernel.create_thread(
+        "tuning",
+        Program([Acquire("gains"), Compute(ms(2)), Release("gains")]),
+        period=ms(200),
+        csd_queue=1,
+    )
+    return kernel
+
+
+def build_actuator_node(cluster: Cluster, latencies: list) -> Kernel:
+    kernel = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    iface = cluster.add_node("actuator", kernel, accept={BRAKE_ID})
+
+    def actuate(kern, thread):
+        while True:
+            frame = iface.receive()
+            if frame is None:
+                break
+            _, sent_at = frame.payload
+            latencies.append(kern.now - sent_at)
+
+    kernel.create_thread(
+        "valve_driver",
+        Program([Wait(iface.rx_event_name), Call(actuate), Compute(us(300))]),
+        period=ms(20),
+        deadline=ms(5),
+        csd_queue=0,
+    )
+    return kernel
+
+
+def main() -> None:
+    cluster = Cluster(Fieldbus(bit_rate_bps=1_000_000))
+    latencies: list = []
+    sensor = build_sensor_node(cluster)
+    controller = build_controller_node(cluster, latencies)
+    actuator = build_actuator_node(cluster, latencies)
+
+    horizon = ms(2000)
+    cluster.run_until(horizon)
+
+    print("=== distributed control: 3 nodes, 1 Mbit/s fieldbus, 2 s ===\n")
+    for name, kernel in cluster.nodes.items():
+        violations = kernel.trace.deadline_violations(kernel.now)
+        print(
+            f"{name:>10}: {len(kernel.trace.jobs)} jobs, "
+            f"{len(violations)} deadline violations, "
+            f"kernel time {kernel.trace.kernel_time_total / 1e6:.2f} ms"
+        )
+    bus = cluster.bus
+    print(
+        f"\nbus: {bus.frames_delivered} frames, "
+        f"{100 * bus.utilization(horizon):.1f}% utilization, "
+        f"avg arbitration wait "
+        f"{bus.total_arbitration_wait_ns / max(1, bus.frames_delivered) / 1000:.0f} us"
+    )
+    iface = cluster.interfaces["controller"]
+    print(
+        f"controller rx: {iface.frames_received} speed frames "
+        f"({iface.frames_filtered} filtered out)"
+    )
+    if latencies:
+        print(
+            f"command->valve latency: min {to_ms(min(latencies)):.3f} ms, "
+            f"max {to_ms(max(latencies)):.3f} ms "
+            f"(wire time of a 4-byte frame: 0.079 ms)"
+        )
+    total = cluster.total_deadline_violations()
+    print(f"\ntotal deadline violations across the cluster: {total}")
+    assert total == 0, "the distributed workload must be schedulable"
+
+
+if __name__ == "__main__":
+    main()

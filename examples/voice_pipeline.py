@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Cellular-phone voice compression pipeline (Section 1's second domain).
+
+A hand-held phone's DSP-less microcontroller runs:
+
+* ``mic_driver`` -- a user-level driver woken by the ADC interrupt
+  every 20 ms (one voice frame), which pushes the raw frame into a
+  mailbox;
+* ``codec`` -- the voice compressor: receives a raw frame, spends most
+  of the CPU compressing it, and sends the compressed frame on;
+* ``radio`` -- frames the compressed data for the air interface;
+* ``agc`` -- automatic gain control at 5 ms, publishing the current
+  signal level on a state-message channel (high-rate, latest-value
+  data: a mailbox would be the wrong tool);
+* ``ui`` -- a slow display task reading the signal level and serving
+  sporadic keypad interrupts.
+
+The pipeline is scheduled by CSD-3 and demonstrates memory-protected
+IPC: the codec's buffers live in its process's memory map, and the
+kernel validates each mailbox transfer against it.
+
+Run:  python examples/voice_pipeline.py
+"""
+
+from repro import (
+    Compute,
+    CSDScheduler,
+    Kernel,
+    OverheadModel,
+    Program,
+    Recv,
+    Send,
+    StateRead,
+    StateWrite,
+    Wait,
+    ms,
+    to_us,
+    us,
+)
+from repro.kernel.devices import AperiodicDevice, PeriodicDevice
+
+ADC_VECTOR = 1
+KEYPAD_VECTOR = 2
+
+FRAME_BYTES = 160  # 20 ms of 8 kHz mono, 8-bit
+COMPRESSED_BYTES = 33  # GSM full-rate frame
+
+
+def build_kernel() -> Kernel:
+    kernel = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=2))
+
+    # Processes and their buffers: the kernel checks every mailbox
+    # transfer against these maps.
+    audio = kernel.create_process("audio")
+    audio.map_region("raw_frame", FRAME_BYTES)
+    audio.map_region("compressed_frame", COMPRESSED_BYTES + 31)
+    radio_proc = kernel.create_process("radio")
+    radio_proc.map_region("tx_frame", COMPRESSED_BYTES + 31)
+
+    kernel.create_mailbox("raw_frames", capacity=4, max_message_size=FRAME_BYTES)
+    kernel.create_mailbox("compressed", capacity=4, max_message_size=64)
+    kernel.create_channel("signal_level", slots=4)
+
+    kernel.interrupts.register_event_handler(ADC_VECTOR, "frame_ready")
+    PeriodicDevice(kernel, "adc", vector=ADC_VECTOR, period=ms(20))
+    kernel.interrupts.register_event_handler(KEYPAD_VECTOR, "keypress")
+    AperiodicDevice(
+        kernel,
+        "keypad",
+        vector=KEYPAD_VECTOR,
+        mean_interarrival=ms(700),
+        min_interarrival=ms(100),
+        seed=11,
+        horizon=ms(5000),
+    )
+
+    # Microphone driver (DP1): woken by the ADC, ships the raw frame.
+    kernel.create_thread(
+        "mic_driver",
+        Program(
+            [
+                Wait("frame_ready"),
+                Compute(us(150)),
+                Send("raw_frames", size=FRAME_BYTES, payload="frame",
+                     buffer="raw_frame"),
+            ]
+        ),
+        period=ms(20),
+        deadline=ms(5),
+        process=kernel.processes["audio"],
+        csd_queue=0,
+    )
+
+    # Codec (DP1): the heavy lifting -- ~8 ms of CPU per 20 ms frame.
+    kernel.create_thread(
+        "codec",
+        Program(
+            [
+                Recv("raw_frames", buffer="raw_frame"),
+                Compute(ms(8)),
+                Send("compressed", size=COMPRESSED_BYTES, payload="gsm",
+                     buffer="compressed_frame"),
+            ]
+        ),
+        period=ms(20),
+        deadline=ms(18),
+        process=kernel.processes["audio"],
+        csd_queue=0,
+    )
+
+    # Radio framing (DP2).
+    kernel.create_thread(
+        "radio",
+        Program(
+            [
+                Recv("compressed", buffer="tx_frame"),
+                Compute(ms(1)),
+            ]
+        ),
+        period=ms(20),
+        deadline=ms(20),
+        process=radio_proc,
+        csd_queue=1,
+    )
+
+    # Automatic gain control (DP1: its 5 ms deadline must preempt the
+    # codec's 8 ms bursts, so it shares the EDF band with the codec).
+    kernel.create_thread(
+        "agc",
+        Program(
+            [
+                Compute(us(400)),
+                StateWrite("signal_level", value=-47),
+            ]
+        ),
+        period=ms(5),
+        csd_queue=0,
+    )
+
+    # Display / UI (FP queue): slow consumer of the signal level.
+    kernel.create_thread(
+        "ui",
+        Program(
+            [
+                StateRead("signal_level", duration=us(200)),
+                Compute(ms(2)),
+            ]
+        ),
+        period=ms(250),
+        csd_queue=2,
+    )
+
+    # Keypad service: aperiodic.
+    kernel.create_thread(
+        "keypad_task",
+        Program([Compute(us(800))]),
+        priority=100,
+        deadline=ms(50),
+        csd_queue=2,
+    )
+    kernel.interrupts.register(
+        KEYPAD_VECTOR, lambda kern, vec: kern.activate("keypad_task")
+    )
+    return kernel
+
+
+def main() -> None:
+    kernel = build_kernel()
+    trace = kernel.run_until(ms(5000))
+
+    print("=== voice pipeline: 5 s of virtual time, CSD-3 ===")
+    print(trace.summary(kernel.now))
+    print()
+
+    frames = len(trace.jobs_of("codec"))
+    codec_responses = [
+        j.response_time for j in trace.jobs_of("codec") if j.response_time
+    ]
+    print(f"voice frames processed: {frames}")
+    print(
+        f"codec response time: max {to_us(max(codec_responses)) / 1000:.2f} ms, "
+        f"avg {to_us(sum(codec_responses) / len(codec_responses)) / 1000:.2f} ms "
+        f"(deadline 18 ms)"
+    )
+    print(
+        "signal level channel:",
+        kernel.channels["signal_level"].writes,
+        "writes,",
+        kernel.channels["signal_level"].reads,
+        "reads,",
+        kernel.channels["signal_level"].torn_reads,
+        "torn reads",
+    )
+    keypad_jobs = trace.jobs_of("keypad_task")
+    print(f"keypad presses served: {len(keypad_jobs)}")
+    violations = trace.deadline_violations(kernel.now)
+    print(f"deadline violations: {len(violations)}")
+    print()
+    print(trace.gantt_ascii(0, ms(60), columns=72))
+    assert not violations, "pipeline must be schedulable"
+
+
+if __name__ == "__main__":
+    main()

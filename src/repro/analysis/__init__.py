@@ -1,0 +1,20 @@
+"""Result rendering: tables and ASCII series for the evaluation."""
+
+from repro.analysis.metrics import (
+    CpuBreakdown,
+    ResponseStats,
+    cpu_breakdown,
+    miss_ratio,
+    response_stats,
+)
+from repro.analysis.tables import ascii_series, format_table
+
+__all__ = [
+    "CpuBreakdown",
+    "ResponseStats",
+    "ascii_series",
+    "cpu_breakdown",
+    "format_table",
+    "miss_ratio",
+    "response_stats",
+]

@@ -1,0 +1,123 @@
+"""Trace metrics: response-time statistics, miss ratios, overhead shares.
+
+Post-processing helpers that turn a :class:`~repro.sim.trace.Trace`
+into the quantities real-time evaluations report: per-task worst/mean
+response times, deadline-miss ratios, and the breakdown of CPU time
+into application work, kernel overhead (by category), and idle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.trace import IDLE, KERNEL, Trace
+
+__all__ = ["ResponseStats", "CpuBreakdown", "response_stats", "cpu_breakdown", "miss_ratio"]
+
+
+@dataclass(frozen=True)
+class ResponseStats:
+    """Response-time statistics of one thread's completed jobs (ns)."""
+
+    thread: str
+    jobs: int
+    completed: int
+    minimum: Optional[int]
+    mean: Optional[float]
+    maximum: Optional[int]
+    p99: Optional[int]
+
+    @property
+    def completion_ratio(self) -> float:
+        return self.completed / self.jobs if self.jobs else 0.0
+
+
+def response_stats(trace: Trace, thread: str) -> ResponseStats:
+    """Summarize the response times of ``thread``'s jobs."""
+    jobs = trace.jobs_of(thread)
+    responses = sorted(
+        j.response_time for j in jobs if j.response_time is not None
+    )
+    if not responses:
+        return ResponseStats(thread, len(jobs), 0, None, None, None, None)
+    index_99 = min(len(responses) - 1, round(0.99 * (len(responses) - 1)))
+    return ResponseStats(
+        thread=thread,
+        jobs=len(jobs),
+        completed=len(responses),
+        minimum=responses[0],
+        mean=sum(responses) / len(responses),
+        maximum=responses[-1],
+        p99=responses[index_99],
+    )
+
+
+def miss_ratio(trace: Trace, now: int, thread: Optional[str] = None) -> float:
+    """Fraction of released jobs that violated their deadline.
+
+    Counts both late completions and overdue unfinished jobs.  Restrict
+    to one thread with ``thread``.
+    """
+    jobs = trace.jobs if thread is None else trace.jobs_of(thread)
+    if not jobs:
+        return 0.0
+    violations = {id(j) for j in trace.deadline_violations(now)}
+    missed = sum(1 for j in jobs if id(j) in violations)
+    return missed / len(jobs)
+
+
+@dataclass(frozen=True)
+class CpuBreakdown:
+    """Where the CPU time of ``[start, end)`` went."""
+
+    window_ns: int
+    application_ns: int
+    kernel_ns: int
+    idle_ns: int
+    kernel_by_category: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def application_share(self) -> float:
+        return self.application_ns / self.window_ns if self.window_ns else 0.0
+
+    @property
+    def kernel_share(self) -> float:
+        return self.kernel_ns / self.window_ns if self.window_ns else 0.0
+
+    @property
+    def idle_share(self) -> float:
+        return self.idle_ns / self.window_ns if self.window_ns else 0.0
+
+
+def cpu_breakdown(trace: Trace, start: int, end: int) -> CpuBreakdown:
+    """Split ``[start, end)`` into application, kernel, and idle time.
+
+    Requires the trace to have been recorded with segments enabled.
+    The per-category kernel split uses the whole-run counters (the
+    trace does not keep per-window categories), so it is exact only
+    when the window covers the full run.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    application = 0
+    kernel = 0
+    idle = 0
+    for segment in trace.segments:
+        lo = max(segment.start, start)
+        hi = min(segment.end, end)
+        if hi <= lo:
+            continue
+        if segment.who == KERNEL:
+            kernel += hi - lo
+        elif segment.who == IDLE:
+            idle += hi - lo
+        else:
+            application += hi - lo
+    return CpuBreakdown(
+        window_ns=end - start,
+        application_ns=application,
+        kernel_ns=kernel,
+        idle_ns=idle,
+        kernel_by_category=dict(trace.kernel_time),
+    )

@@ -1,0 +1,77 @@
+"""Plain-text table and series rendering for benchmark output.
+
+The benchmark harness regenerates the paper's tables and figures as
+text: :func:`format_table` renders aligned rows (Tables 1-3),
+:func:`ascii_series` renders multi-series line data (Figures 3-5, 11)
+as a column-per-x table plus a crude ASCII plot so trends are visible
+in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+__all__ = ["format_table", "ascii_series"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Render several named series as a table plus a rough ASCII plot."""
+    names = list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [f"{series[name][i]:.1f}" for name in names])
+    table = format_table([x_label or "x"] + names, rows, title=title)
+
+    # Crude plot: one character column per x value per series.
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        return table
+    lo, hi = min(all_values), max(all_values)
+    span = (hi - lo) or 1.0
+    markers = "ox+*#@%&"
+    grid = [[" "] * (len(x_values) * 3) for _ in range(height)]
+    for s_idx, name in enumerate(names):
+        marker = markers[s_idx % len(markers)]
+        for i, value in enumerate(series[name]):
+            row = height - 1 - round((value - lo) / span * (height - 1))
+            col = i * 3 + 1
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            else:
+                grid[row][col] = "*"  # overlapping series
+    plot_lines = []
+    for r, line in enumerate(grid):
+        level = hi - (r / (height - 1)) * span
+        plot_lines.append(f"{level:8.1f} |{''.join(line)}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    return "\n".join(
+        [table, "", *plot_lines, " " * 10 + legend + ("  (* = overlap)" if len(names) > 1 else "")]
+    )

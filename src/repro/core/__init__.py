@@ -1,0 +1,49 @@
+"""The paper's primary contribution: CSD scheduling and its analysis.
+
+Exports the task model, the three schedulers (EDF, RM, CSD), the
+Table 1 overhead model, and the overhead-aware schedulability tests
+used by the breakdown-utilization experiments.
+"""
+
+from repro.core.allocation import balanced_splits, find_feasible_splits
+from repro.core.csd import CSDScheduler
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import OverheadModel, ZERO_OVERHEAD
+from repro.core.queues import ReadyHeap, Schedulable, SortedQueue, UnsortedQueue
+from repro.core.rm import RMHeapScheduler, RMScheduler
+from repro.core.scheduler import Scheduler, SchedulerStats
+from repro.core.schedulability import (
+    csd_schedulable,
+    dm_response_times,
+    dm_schedulable,
+    edf_schedulable,
+    rm_response_times,
+    rm_schedulable,
+)
+from repro.core.task import TaskSpec, Workload, table2_workload
+
+__all__ = [
+    "CSDScheduler",
+    "EDFScheduler",
+    "OverheadModel",
+    "RMHeapScheduler",
+    "RMScheduler",
+    "ReadyHeap",
+    "Schedulable",
+    "Scheduler",
+    "SchedulerStats",
+    "SortedQueue",
+    "TaskSpec",
+    "UnsortedQueue",
+    "Workload",
+    "ZERO_OVERHEAD",
+    "balanced_splits",
+    "csd_schedulable",
+    "dm_response_times",
+    "dm_schedulable",
+    "edf_schedulable",
+    "find_feasible_splits",
+    "rm_response_times",
+    "rm_schedulable",
+    "table2_workload",
+]

@@ -1,0 +1,165 @@
+"""Offline allocation of tasks to CSD queues (Section 5.5.3).
+
+The paper assigns tasks to queues with an offline exhaustive search
+driven by the schedulability test of [36]; for three queues the search
+is O(n^2).  Allocations are *prefix splits* of the RM-ordered workload:
+the shortest-period tasks go to DP1, the next group to DP2, ..., and
+the longest-period tasks to the FP queue.  (This is implied by the
+construction in Section 5.3 -- the DP queue holds tasks ``1..r`` in
+shortest-period-first order -- and by the inter-queue priorities,
+which must agree with RM for the analysis to hold.)
+
+Two considerations steer the split (Section 5.5.3):
+
+* short-period tasks are responsible for the most run-time overhead
+  (a fixed per-period cost is amortized over fewer milliseconds), so
+  DP1 should stay small;
+* splitting DP tasks across queues introduces schedulability overhead
+  (the queues themselves are scheduled by fixed priority), so the split
+  must keep every band schedulable.
+
+:func:`find_feasible_splits` performs the search with the paper's goal
+-- find *any* feasible allocation -- using a balanced-split heuristic
+ordering plus an optional warm-start hint, falling back to exhaustive
+enumeration (capped by ``max_tests``; the cap is generous for the
+two- and three-queue searches the paper uses, and bounds the
+combinatorial four-queue case).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.overhead import OverheadModel, ZERO_OVERHEAD
+from repro.core.schedulability import BLOCKING_FACTOR, csd_schedulable
+from repro.core.task import Workload
+
+__all__ = ["find_feasible_splits", "candidate_splits", "balanced_splits"]
+
+Splits = Tuple[int, ...]
+
+#: Default cap on schedulability tests per search call.
+DEFAULT_MAX_TESTS = 2_000
+
+
+def balanced_splits(workload: Workload, dp_bands: int, r: int) -> Splits:
+    """Split the first ``r`` tasks into ``dp_bands`` queues balancing
+    the scheduler-invocation rate ``sum(1 / P_i)`` per queue.
+
+    Section 5.5.3: a task with period ``P_i`` is responsible for
+    ``t / P_i`` CPU overhead, so queues are balanced by the sum of
+    inverse periods, keeping the overhead contribution of each queue
+    roughly equal.
+    """
+    if dp_bands <= 0:
+        return ()
+    if r == 0:
+        return (0,) * dp_bands
+    rates = [1.0 / workload[i].period for i in range(r)]
+    total = sum(rates)
+    target = total / dp_bands
+    splits: List[int] = []
+    accumulated = 0.0
+    index = 0
+    for band in range(dp_bands - 1):
+        budget = target * (band + 1)
+        while index < r and accumulated + rates[index] / 2 <= budget:
+            accumulated += rates[index]
+            index += 1
+        splits.append(index)
+    splits.append(r)
+    return tuple(splits)
+
+
+def _neighbourhood(splits: Splits, r: int, radius: int = 2) -> Iterator[Splits]:
+    """Valid split tuples within ``radius`` of ``splits`` (same r)."""
+    inner = splits[:-1]
+    if not inner:
+        yield splits
+        return
+    ranges = [
+        range(max(0, s - radius), min(r, s + radius) + 1) for s in inner
+    ]
+    for combo in itertools.product(*ranges):
+        if all(combo[i] <= combo[i + 1] for i in range(len(combo) - 1)):
+            yield tuple(combo) + (r,)
+
+
+def candidate_splits(
+    workload: Workload, dp_bands: int, exhaustive_limit: int = 3
+) -> Iterator[Splits]:
+    """Yield candidate allocations in a good heuristic order.
+
+    For each DP-set size ``r`` (ascending: prefer the smallest DP set,
+    which minimizes EDF run-time overhead -- the paper's observation
+    that ``tau_r`` is "the longest period task that cannot be scheduled
+    by RM"), yield the rate-balanced split first, then its local
+    neighbourhood, then -- for at most ``exhaustive_limit - 1`` inner
+    split points -- the full enumeration.
+    """
+    n = len(workload)
+    if dp_bands == 0:
+        yield ()
+        return
+    for r in range(n + 1):
+        seen = set()
+        balanced = balanced_splits(workload, dp_bands, r)
+        for splits in itertools.chain([balanced], _neighbourhood(balanced, r)):
+            if splits not in seen:
+                seen.add(splits)
+                yield splits
+        if dp_bands <= exhaustive_limit - 1:
+            inner_points = itertools.combinations_with_replacement(
+                range(r + 1), dp_bands - 1
+            )
+            for inner in inner_points:
+                splits = tuple(inner) + (r,)
+                if splits not in seen:
+                    seen.add(splits)
+                    yield splits
+
+
+def find_feasible_splits(
+    workload: Workload,
+    dp_bands: int,
+    model: OverheadModel = ZERO_OVERHEAD,
+    blocking_factor: float = BLOCKING_FACTOR,
+    hint: Optional[Splits] = None,
+    max_tests: int = DEFAULT_MAX_TESTS,
+) -> Optional[Splits]:
+    """Find any allocation under which ``workload`` is CSD-schedulable.
+
+    Args:
+        workload: RM-ordered task set.
+        dp_bands: Number of DP queues (CSD-x has ``x - 1``).
+        model: Run-time overhead model.
+        blocking_factor: Per-period blocking multiplier (Section 5.1).
+        hint: Allocation to try first (warm start from a previous,
+            slightly different scale of the same workload).
+        max_tests: Cap on schedulability tests before giving up.
+
+    Returns:
+        A feasible splits tuple, or ``None`` if none was found within
+        the test budget.
+    """
+    n = len(workload)
+    tests = 0
+
+    def try_splits(splits: Splits) -> bool:
+        nonlocal tests
+        tests += 1
+        return csd_schedulable(workload, splits, model, blocking_factor)
+
+    if hint is not None and len(hint) == dp_bands and all(
+        0 <= s <= n for s in hint
+    ) and all(hint[i] <= hint[i + 1] for i in range(len(hint) - 1)):
+        if try_splits(hint):
+            return hint
+
+    for splits in candidate_splits(workload, dp_bands):
+        if tests >= max_tests:
+            return None
+        if try_splits(splits):
+            return splits
+    return None

@@ -1,0 +1,226 @@
+"""The Combined Static/Dynamic (CSD) scheduler (Sections 5.3-5.6).
+
+CSD-x maintains ``x`` queues: ``x - 1`` dynamic-priority (DP) queues
+scheduled internally by EDF, followed by one fixed-priority (FP) queue
+scheduled by RM (or any fixed-priority assignment).  Queues are
+strictly prioritized: DP1 tasks always beat DP2 tasks, which always
+beat FP tasks.  A per-DP-queue counter of ready tasks lets the selector
+skip empty queues at the cost of one list-parse step (0.55 us each,
+Section 5.7) without scanning them.
+
+The degenerate configurations behave as the paper says: every task on
+the single FP queue is plain RM; every task on one DP queue is plain
+EDF (plus the queue-parse cost).
+
+Tasks carry their queue assignment in ``Schedulable.csd_queue``
+(0-based; the FP queue is index ``x - 1``).  Assignments normally come
+from :mod:`repro.core.allocation`, which reproduces the paper's
+offline search.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.overhead import OverheadModel
+from repro.core.queues import Schedulable, SortedQueue, UnsortedQueue
+from repro.core.scheduler import Scheduler
+
+__all__ = ["CSDScheduler"]
+
+
+class CSDScheduler(Scheduler):
+    """CSD-x: ``dp_queue_count`` EDF queues over one RM queue."""
+
+    def __init__(
+        self,
+        model: Optional[OverheadModel] = None,
+        dp_queue_count: int = 1,
+    ):
+        super().__init__(model)
+        if dp_queue_count < 0:
+            raise ValueError("dp_queue_count must be >= 0")
+        self.dp_queues: List[UnsortedQueue] = [
+            UnsortedQueue(f"DP{i + 1}") for i in range(dp_queue_count)
+        ]
+        self.fp_queue = SortedQueue("FP")
+        # PI bookkeeping: tasks temporarily migrated to a higher queue,
+        # mapped to their home queue index.
+        self._pi_home: Dict[Schedulable, int] = {}
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def queue_count(self) -> int:
+        """Total number of queues (the x in CSD-x)."""
+        return len(self.dp_queues) + 1
+
+    @property
+    def fp_index(self) -> int:
+        """Queue index of the FP queue (always the last one)."""
+        return len(self.dp_queues)
+
+    def queue_lengths(self) -> List[int]:
+        return [len(q) for q in self.dp_queues] + [len(self.fp_queue)]
+
+    def queue_index_of(self, task: Schedulable) -> int:
+        for i, queue in enumerate(self.dp_queues):
+            if task in queue:
+                return i
+        if task in self.fp_queue:
+            return self.fp_index
+        raise ValueError(f"{task.name} is not scheduled by this CSD scheduler")
+
+    def _queue_at(self, index: int):
+        if index == self.fp_index:
+            return self.fp_queue
+        return self.dp_queues[index]
+
+    def priority_rank(self, task: Schedulable):
+        index = self.queue_index_of(task)
+        if index == self.fp_index:
+            return (index, 0, task.effective_key)
+        return (index, task.effective_deadline, task.effective_key)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_task(self, task: Schedulable) -> None:
+        """Place ``task`` on the queue named by ``task.csd_queue``.
+
+        Unassigned tasks default to the FP queue, mirroring the paper's
+        default of scheduling unproblematic tasks with cheap RM.
+        """
+        index = task.csd_queue if task.csd_queue is not None else self.fp_index
+        if not 0 <= index <= self.fp_index:
+            raise ValueError(
+                f"{task.name}: csd_queue {index} out of range for CSD-{self.queue_count}"
+            )
+        task.csd_queue = index
+        self._queue_at(index).add(task)
+
+    def remove_task(self, task: Schedulable) -> None:
+        index = self.queue_index_of(task)
+        self._queue_at(index).remove(task)
+        self._pi_home.pop(task, None)
+
+    def tasks(self) -> List[Schedulable]:
+        found: List[Schedulable] = []
+        for queue in self.dp_queues:
+            found.extend(queue)
+        found.extend(self.fp_queue)
+        return found
+
+    def check_invariants(self) -> None:
+        self.fp_queue.check_invariants()
+
+    # ------------------------------------------------------------------
+    # scheduling primitives (cost cases of Section 5.4 / Table 3)
+    # ------------------------------------------------------------------
+    def _block(self, task: Schedulable) -> int:
+        index = self.queue_index_of(task)
+        queue = self._queue_at(index)
+        queue.block(task)
+        if index == self.fp_index:
+            # FP task blocks: t_b = O(n - r), advance highestp.
+            return self.model.rm_block(len(self.fp_queue))
+        # DP task blocks: t_b = O(1), a TCB flag update.
+        return self.model.edf_block(len(queue))
+
+    def _unblock(self, task: Schedulable) -> int:
+        index = self.queue_index_of(task)
+        queue = self._queue_at(index)
+        queue.unblock(task)
+        if index == self.fp_index:
+            return self.model.rm_unblock(len(self.fp_queue))
+        return self.model.edf_unblock(len(queue))
+
+    def _select(self) -> Tuple[Optional[Schedulable], int]:
+        """Walk the prioritized queue list; parse the first live queue.
+
+        Charges the flat ``x * 0.55 us`` queue-list parse of Section 5.7
+        plus the selection cost of the queue actually parsed: an O(len)
+        EDF scan for a DP queue with ready tasks, or the O(1)
+        ``highestp`` dereference for the FP queue.
+        """
+        cost = self.queue_count * self.model.queue_parse_ns
+        for queue in self.dp_queues:
+            if queue.ready_count > 0:
+                task = queue.select()
+                return task, cost + self.model.edf_select(len(queue))
+        task = self.fp_queue.select()
+        return task, cost + self.model.rm_select(len(self.fp_queue))
+
+    # ------------------------------------------------------------------
+    # priority inheritance
+    # ------------------------------------------------------------------
+    def _raise_priority(self, task: Schedulable, donor: Schedulable) -> int:
+        """Give ``task`` the donor's priority, migrating across queues
+        when the donor lives on a higher-priority queue.
+
+        Within a DP queue this is the O(1) deadline overwrite; within
+        the FP queue it is the standard O(n) remove-and-reinsert (the
+        O(1) place-holder swap is offered separately via
+        :meth:`swap_with_placeholder`).  Cross-queue inheritance
+        (not detailed in the paper; needed for full nested-locking
+        generality) temporarily moves the holder to the donor's queue.
+        """
+        holder_index = self.queue_index_of(task)
+        donor_index = self.queue_index_of(donor)
+        donor_deadline = donor.effective_deadline
+        inherited = (
+            int(donor_deadline) if donor_deadline != float("inf") else None
+        )
+        if donor_index > holder_index:
+            # Donor is on a lower-priority queue; within the same queue
+            # semantics below still apply, across queues nothing to do.
+            if holder_index != donor_index:
+                return self.model.pi_dp_step()
+        if donor_index == holder_index:
+            if holder_index == self.fp_index:
+                task.effective_key = donor.effective_key
+                self.fp_queue.reposition(task)
+                return self.model.pi_standard_step(len(self.fp_queue))
+            task.pi_deadline = inherited
+            return self.model.pi_dp_step()
+        # donor_index < holder_index: migrate the holder up.
+        self._pi_home.setdefault(task, holder_index)
+        self._queue_at(holder_index).remove(task)
+        task.csd_queue = donor_index
+        if donor_index == self.fp_index:
+            task.effective_key = donor.effective_key
+            self.fp_queue.add(task)
+        else:
+            task.pi_deadline = inherited
+            self.dp_queues[donor_index].add(task)
+        return self.model.pi_standard_step(
+            max(len(self._queue_at(donor_index)), len(self._queue_at(holder_index)))
+        )
+
+    def _restore_priority(self, task: Schedulable) -> int:
+        current = self.queue_index_of(task)
+        home = self._pi_home.pop(task, current)
+        if home != current:
+            self._queue_at(current).remove(task)
+            task.csd_queue = home
+            task.pi_deadline = None
+            task.effective_key = task.base_key
+            self._queue_at(home).add(task)
+            return self.model.pi_standard_step(
+                max(len(self._queue_at(home)), len(self._queue_at(current)))
+            )
+        if current == self.fp_index:
+            task.effective_key = task.base_key
+            self.fp_queue.reposition(task)
+            return self.model.pi_standard_step(len(self.fp_queue))
+        task.pi_deadline = None
+        return self.model.pi_dp_step()
+
+    def _swap_with_placeholder(
+        self, holder: Schedulable, placeholder: Schedulable
+    ) -> Optional[int]:
+        if holder not in self.fp_queue or placeholder not in self.fp_queue:
+            return None
+        self.fp_queue.swap_positions(holder, placeholder)
+        return self.model.pi_o1_step()

@@ -1,0 +1,22 @@
+"""Intra-node IPC: mailboxes, shared memory, state messages."""
+
+from repro.ipc.mailbox import Mailbox, MailboxError
+from repro.ipc.shared_memory import SharedMemory
+from repro.ipc.state_message import (
+    ReadToken,
+    StateChannel,
+    StateMessageError,
+    TornRead,
+    required_slots,
+)
+
+__all__ = [
+    "Mailbox",
+    "MailboxError",
+    "ReadToken",
+    "SharedMemory",
+    "StateChannel",
+    "StateMessageError",
+    "TornRead",
+    "required_slots",
+]

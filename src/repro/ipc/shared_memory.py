@@ -1,0 +1,103 @@
+"""Shared-memory objects mappable into multiple processes (Section 3).
+
+A shared-memory object owns a byte buffer at a fixed physical address;
+processes map it into their memory maps (same physical base -- the
+paper's targets have no MMU translation) with per-process access
+rights.  The state-message channels of
+:mod:`repro.ipc.state_message` live in such objects: the writer maps
+the region writable, readers map it read-only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:
+    from repro.kernel.memory import Region
+    from repro.kernel.process import AddressSpaceAllocator, Process
+
+__all__ = ["SharedMemory"]
+
+
+class SharedMemory:
+    """A named region of physical memory shareable across processes."""
+
+    def __init__(self, name: str, size: int, allocator: "AddressSpaceAllocator"):
+        if size <= 0:
+            raise ValueError("shared memory size must be positive")
+        self.name = name
+        self.size = size
+        self.base = allocator.allocate(size)
+        self.data = bytearray(size)
+        #: Processes that have mapped this object, with their rights.
+        self.mappings: Dict[str, "Region"] = {}
+
+    def map_into(
+        self, process: "Process", writable: bool = False, readable: bool = True
+    ) -> "Region":
+        """Map the object into ``process`` at its physical base."""
+        from repro.kernel.memory import Region
+
+        if process.name in self.mappings:
+            raise ValueError(
+                f"shared memory {self.name} already mapped in {process.name}"
+            )
+        region = Region(
+            name=f"shm:{self.name}",
+            base=self.base,
+            size=self.size,
+            readable=readable,
+            writable=writable,
+        )
+        process.memory.map(region)
+        self.mappings[process.name] = region
+        return region
+
+    def unmap_from(self, process: "Process") -> None:
+        """Remove the mapping from ``process``."""
+        region = self.mappings.pop(process.name, None)
+        if region is None:
+            raise KeyError(f"shared memory {self.name} not mapped in {process.name}")
+        process.memory.unmap(region.name)
+
+    def write(self, process: "Process", offset: int, payload: bytes) -> None:
+        """Store bytes, enforcing the process's mapping rights."""
+        region = self._region_for(process)
+        if not region.writable:
+            from repro.kernel.memory import ProtectionFault
+
+            raise ProtectionFault(
+                f"{process.name} has a read-only mapping of {self.name}"
+            )
+        if offset < 0 or offset + len(payload) > self.size:
+            raise ValueError("write outside shared memory object")
+        self.data[offset : offset + len(payload)] = payload
+
+    def read(self, process: "Process", offset: int, length: int) -> bytes:
+        """Load bytes, enforcing the process's mapping rights."""
+        region = self._region_for(process)
+        if not region.readable:
+            from repro.kernel.memory import ProtectionFault
+
+            raise ProtectionFault(
+                f"{process.name} cannot read its mapping of {self.name}"
+            )
+        if offset < 0 or offset + length > self.size:
+            raise ValueError("read outside shared memory object")
+        return bytes(self.data[offset : offset + length])
+
+    def _region_for(self, process: "Process") -> "Region":
+        region = self.mappings.get(process.name)
+        if region is None:
+            from repro.kernel.memory import ProtectionFault
+
+            raise ProtectionFault(
+                f"{process.name} has not mapped shared memory {self.name}"
+            )
+        return region
+
+    def __repr__(self) -> str:
+        return (
+            f"<SharedMemory {self.name}: {self.size} bytes @ {self.base:#x}, "
+            f"mapped by {sorted(self.mappings)}>"
+        )

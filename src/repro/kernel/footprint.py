@@ -1,0 +1,134 @@
+"""Memory-footprint accounting for the small-memory budget.
+
+The paper's whole premise is 32-128 KB of on-chip memory (Section 2),
+with the kernel itself fitting in 13 KB of code.  We cannot
+meaningfully reproduce *code* size in Python, but the *data* side of
+the budget -- what the kernel's objects cost in RAM on the modeled
+target -- is well defined and worth accounting: TCBs and stacks,
+scheduler queues, semaphores, mailbox buffers, state-message slots,
+shared memory, and timers.
+
+Per-object costs default to figures representative of a 32-bit
+microcontroller kernel of the era (a TCB around 128 bytes, 512-byte
+minimum stacks, 8-byte queue nodes...).  They are all parameters of
+:class:`FootprintModel`, so a port can re-cost them.
+
+:func:`kernel_footprint` walks a live kernel and produces an itemized
+:class:`FootprintReport`; :meth:`FootprintReport.fits` answers the
+question that matters on these parts: does the configuration fit the
+budget?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+
+__all__ = ["FootprintModel", "FootprintReport", "kernel_footprint", "KERNEL_CODE_BYTES"]
+
+#: The paper's measured kernel code size on the MC68040 (Section 3):
+#: "a rich set of OS services in just 13 kbytes of code".
+KERNEL_CODE_BYTES = 13 * 1024
+
+
+@dataclass(frozen=True)
+class FootprintModel:
+    """Per-object RAM costs (bytes) on the modeled target."""
+
+    tcb_bytes: int = 128
+    stack_bytes: int = 512
+    queue_node_bytes: int = 8
+    semaphore_bytes: int = 32
+    event_bytes: int = 16
+    condvar_bytes: int = 24
+    mailbox_header_bytes: int = 48
+    channel_slot_header_bytes: int = 8
+    timer_bytes: int = 24
+    process_bytes: int = 64
+    region_descriptor_bytes: int = 16
+    state_value_bytes: int = 8
+
+
+@dataclass
+class FootprintReport:
+    """Itemized RAM usage of one kernel configuration."""
+
+    items: List[Tuple[str, int]] = field(default_factory=list)
+    code_bytes: int = KERNEL_CODE_BYTES
+
+    def add(self, label: str, size: int) -> None:
+        """Record one itemized cost ("category:name", bytes)."""
+        self.items.append((label, size))
+
+    @property
+    def data_bytes(self) -> int:
+        """Total RAM consumed by kernel objects."""
+        return sum(size for _, size in self.items)
+
+    @property
+    def total_bytes(self) -> int:
+        """Code plus data."""
+        return self.code_bytes + self.data_bytes
+
+    def fits(self, budget_bytes: int) -> bool:
+        """Does code + data fit the part's memory?"""
+        return self.total_bytes <= budget_bytes
+
+    def by_category(self) -> Dict[str, int]:
+        """Aggregate items by their category prefix ("threads", ...)."""
+        out: Dict[str, int] = {}
+        for label, size in self.items:
+            category = label.split(":", 1)[0]
+            out[category] = out.get(category, 0) + size
+        return out
+
+    def render(self) -> str:
+        """Human-readable per-category summary."""
+        lines = [f"kernel code: {self.code_bytes} B (paper: 13 KB on MC68040)"]
+        for category, size in sorted(self.by_category().items()):
+            lines.append(f"{category}: {size} B")
+        lines.append(f"total: {self.total_bytes} B")
+        return "\n".join(lines)
+
+
+def kernel_footprint(
+    kernel: "Kernel", model: FootprintModel = FootprintModel()
+) -> FootprintReport:
+    """Account the RAM every object of ``kernel`` would occupy."""
+    report = FootprintReport()
+    for name, thread in kernel.threads.items():
+        report.add(f"threads:{name}", model.tcb_bytes + model.stack_bytes)
+    # Scheduler queue nodes: one per task per queue membership.
+    queue_nodes = sum(kernel.scheduler.queue_lengths())
+    report.add("scheduler:queues", queue_nodes * model.queue_node_bytes)
+    for name, sem in kernel.semaphores.items():
+        report.add(f"sync:{name}", model.semaphore_bytes)
+    for name in kernel.events_by_name:
+        report.add(f"sync:{name}", model.event_bytes)
+    for name in kernel.condvars:
+        report.add(f"sync:{name}", model.condvar_bytes)
+    for name, mbox in kernel.mailboxes.items():
+        report.add(
+            f"ipc:{name}",
+            model.mailbox_header_bytes + mbox.capacity * mbox.max_message_size,
+        )
+    for name, channel in kernel.channels.items():
+        report.add(
+            f"ipc:{name}",
+            channel.slots
+            * (model.channel_slot_header_bytes + model.state_value_bytes),
+        )
+    for name, shm in kernel.shared_memory.items():
+        report.add(f"ipc:{name}", shm.size)
+    for name in kernel.timers:
+        report.add(f"timers:{name}", model.timer_bytes)
+    for name, process in kernel.processes.items():
+        report.add(
+            f"processes:{name}",
+            model.process_bytes
+            + len(process.memory) * model.region_descriptor_bytes,
+        )
+    return report

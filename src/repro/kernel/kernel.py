@@ -1,0 +1,807 @@
+"""The EMERALDS kernel: dispatcher, op interpreter, and service registry.
+
+This is the heart of the substrate: a uniprocessor microkernel running
+over the discrete-event engine.  It owns
+
+* the scheduler (any :class:`~repro.core.scheduler.Scheduler`:
+  EDF, RM, RM-heap, or CSD-x),
+* the service registries (semaphores, events, condition variables,
+  mailboxes, state channels, shared memory, processes, timers),
+* the interrupt controller, and
+* the dispatcher, which charges every kernel primitive the cost the
+  paper measured (Table 1 plus the Section 6.4 calibration) and
+  accounts context switches.
+
+Execution model: the kernel repeatedly (1) fires all due events
+(releases, interrupts, timer expiries) -- each unblock invokes the
+scheduler, exactly the ``t_u + t_s`` accounting of Section 5.1; (2)
+dispatches the selected thread, charging a context switch if it
+changed; (3) lets the running thread execute its current operation --
+``Compute`` ops run preemptibly until the next event, kernel ops run
+through the op interpreter, charging syscall entry and the service's
+own costs.  Kernel charges advance virtual time with interrupts
+effectively masked; events that come due meanwhile are delivered at
+the next dispatch point.
+
+The Section 6 semaphore scheme hooks in at one place:
+:meth:`Kernel.deliver_unblock` performs the hint check of Figure 8
+before making a thread ready, parking it on the semaphore when the
+hint says its next lock attempt would block anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import OverheadModel
+from repro.core.scheduler import Scheduler
+from repro.core.task import TaskSpec
+from repro.ipc.mailbox import Mailbox
+from repro.ipc.shared_memory import SharedMemory
+from repro.ipc.state_message import StateChannel, TornRead
+from repro.kernel import program as ops
+from repro.kernel.clock import Timer
+from repro.kernel.interrupts import InterruptController
+from repro.kernel.kevent import KernelEvent
+from repro.kernel.memory import ProtectionFault
+from repro.kernel.process import AddressSpaceAllocator, Process
+from repro.kernel.program import Program
+from repro.kernel.thread import Thread, ThreadState
+from repro.sim.engine import EventQueue, ScheduledEvent, VirtualClock
+from repro.sim.trace import IDLE, Trace
+from repro.sync.condvar import ConditionVariable
+from repro.sync.emeralds_sem import EmeraldsSemaphore
+from repro.sync.parser import held_across_blocking, insert_hints
+from repro.sync.semaphore import StandardSemaphore
+
+__all__ = ["Kernel", "KernelError"]
+
+
+class KernelError(Exception):
+    """Kernel misuse or internal inconsistency."""
+
+
+class Kernel:
+    """A simulated EMERALDS node.
+
+    Args:
+        scheduler: Scheduling policy; defaults to EDF with the paper's
+            MC68040 overhead model.
+        sem_scheme: ``"emeralds"`` (default) or ``"standard"`` --
+            which semaphore implementation :meth:`create_semaphore`
+            builds and whether the unblock-path hint check runs.
+        auto_parse_hints: Run the Section 6.2.1 code parser over every
+            program at thread-creation time (the paper's compile-time
+            pass).
+        record_segments: Keep full Gantt segments in the trace (turn
+            off for long runs to save memory).
+        stop_on_deadline_miss: Abort the run at the first deadline
+            violation (used by breakdown-by-simulation experiments).
+        fault_policy: ``"kill"`` (default) terminates a thread that
+            violates memory protection and keeps running -- the
+            microkernel survives its applications; ``"raise"``
+            propagates the fault to the caller (strict debugging).
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[Scheduler] = None,
+        sem_scheme: str = "emeralds",
+        auto_parse_hints: bool = True,
+        record_segments: bool = True,
+        stop_on_deadline_miss: bool = False,
+        fault_policy: str = "kill",
+    ):
+        if sem_scheme not in ("emeralds", "standard"):
+            raise ValueError(f"unknown semaphore scheme {sem_scheme!r}")
+        if fault_policy not in ("kill", "raise"):
+            raise ValueError(f"unknown fault policy {fault_policy!r}")
+        self.scheduler = scheduler if scheduler is not None else EDFScheduler()
+        self.model: OverheadModel = self.scheduler.model
+        self.sem_scheme = sem_scheme
+        self.auto_parse_hints = auto_parse_hints
+        self.stop_on_deadline_miss = stop_on_deadline_miss
+        self.fault_policy = fault_policy
+
+        self.clock = VirtualClock()
+        self.events = EventQueue()
+        self.trace = Trace(record_segments=record_segments)
+        self.interrupts = InterruptController(self)
+        self.allocator = AddressSpaceAllocator()
+
+        self.threads: Dict[str, Thread] = {}
+        self.processes: Dict[str, Process] = {}
+        self.semaphores: Dict[str, StandardSemaphore] = {}
+        self.events_by_name: Dict[str, KernelEvent] = {}
+        self.condvars: Dict[str, ConditionVariable] = {}
+        self.mailboxes: Dict[str, Mailbox] = {}
+        self.channels: Dict[str, StateChannel] = {}
+        self.shared_memory: Dict[str, SharedMemory] = {}
+        self.timers: Dict[str, Timer] = {}
+
+        self.running: Optional[Thread] = None
+        #: Semaphore names some program may hold across a blocking
+        #: call (fed by the code parser; arms the 6.3.1 registry).
+        self._held_across_blocking: set = set()
+        self._need_resched = False
+        self._stop = False
+        #: Pending release events by thread name (cancelled on kill).
+        self._release_events: Dict[str, ScheduledEvent] = {}
+        self.syscall_count = 0
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.clock.now
+
+    def charge(self, cost_ns: int, category: str) -> None:
+        """Consume ``cost_ns`` of CPU in kernel mode."""
+        if cost_ns <= 0:
+            return
+        start = self.clock.now
+        self.clock.advance_by(cost_ns)
+        self.trace.charge_kernel(start, self.clock.now, category)
+
+    def schedule_event(
+        self, time: int, action: Callable[[], None], label: str = "event"
+    ) -> ScheduledEvent:
+        """Enqueue a raw engine event (releases, interrupts, timers)."""
+        return self.events.schedule(max(time, self.clock.now), action, label)
+
+    def request_reschedule(self) -> None:
+        """Ask the dispatcher to re-evaluate after the current step."""
+        self._need_resched = True
+
+    def priority_rank(self, thread: Thread) -> Tuple:
+        """Urgency order used outside the scheduler queues (see
+        :meth:`repro.core.scheduler.Scheduler.priority_rank`)."""
+        return self.scheduler.priority_rank(thread)
+
+    # ------------------------------------------------------------------
+    # object creation
+    # ------------------------------------------------------------------
+    def create_process(self, name: str) -> Process:
+        """Create a protection domain backed by the node allocator."""
+        if name in self.processes:
+            raise KernelError(f"process {name} already exists")
+        process = Process(name, allocator=self.allocator)
+        self.processes[name] = process
+        return process
+
+    def create_thread(
+        self,
+        name: str,
+        body: Program,
+        period: Optional[int] = None,
+        deadline: Optional[int] = None,
+        phase: int = 0,
+        process: Optional[Process] = None,
+        priority: Optional[int] = None,
+        csd_queue: Optional[int] = None,
+        fp_policy: str = "rm",
+        min_interarrival: Optional[int] = None,
+    ) -> Thread:
+        """Create a thread and register it with the scheduler.
+
+        Periodic threads (``period`` given) are released automatically
+        every period starting at ``phase``; aperiodic threads need an
+        explicit ``priority`` and are started via :meth:`activate`.
+        """
+        if name in self.threads:
+            raise KernelError(f"thread {name} already exists")
+        program = body
+        period_hint: Optional[str] = None
+        if self.auto_parse_hints:
+            parsed = insert_hints(body)
+            program = parsed.program
+            period_hint = parsed.period_hint
+            risky = held_across_blocking(program)
+            self._held_across_blocking.update(risky)
+            for sem_name in risky:
+                sem = self.semaphores.get(sem_name)
+                if sem is not None and hasattr(sem, "registry_enabled"):
+                    sem.registry_enabled = True
+        spec = None
+        if period is not None:
+            spec = TaskSpec(
+                name=name,
+                period=period,
+                wcet=program.compute_total(),
+                deadline=deadline,
+                phase=phase,
+            )
+        thread = Thread(
+            name,
+            program,
+            spec=spec,
+            process=process,
+            priority=priority,
+            relative_deadline=deadline,
+            fp_policy=fp_policy,
+        )
+        thread.period_hint = period_hint
+        thread.csd_queue = csd_queue
+        if min_interarrival is not None:
+            if period is not None:
+                raise KernelError(
+                    f"{name}: min_interarrival applies to aperiodic threads"
+                )
+            if min_interarrival <= 0:
+                raise KernelError(f"{name}: min_interarrival must be positive")
+            thread.min_interarrival = min_interarrival
+        self.threads[name] = thread
+        self.scheduler.add_task(thread)
+        if spec is not None:
+            self._schedule_release(thread, phase)
+        return thread
+
+    def create_semaphore(
+        self,
+        name: str,
+        capacity: int = 1,
+        scheme: Optional[str] = None,
+        use_swap_pi: bool = True,
+        use_hint_parking: bool = True,
+    ) -> StandardSemaphore:
+        """Create a semaphore using the kernel's scheme (or override)."""
+        if name in self.semaphores:
+            raise KernelError(f"semaphore {name} already exists")
+        chosen = scheme if scheme is not None else self.sem_scheme
+        if chosen == "standard":
+            sem: StandardSemaphore = StandardSemaphore(name, capacity)
+        elif chosen == "emeralds":
+            sem = EmeraldsSemaphore(
+                name,
+                capacity,
+                use_swap_pi=use_swap_pi,
+                use_hint_parking=use_hint_parking,
+            )
+        else:
+            raise ValueError(f"unknown semaphore scheme {chosen!r}")
+        if name in self._held_across_blocking and hasattr(sem, "registry_enabled"):
+            sem.registry_enabled = True
+        self.semaphores[name] = sem
+        return sem
+
+    def create_event(self, name: str) -> KernelEvent:
+        """Create a latching broadcast event (the Wait/Signal target)."""
+        if name in self.events_by_name:
+            raise KernelError(f"event {name} already exists")
+        event = KernelEvent(name)
+        self.events_by_name[name] = event
+        return event
+
+    def create_condvar(self, name: str) -> ConditionVariable:
+        """Create a condition variable (used with a mutex semaphore)."""
+        if name in self.condvars:
+            raise KernelError(f"condvar {name} already exists")
+        cv = ConditionVariable(name)
+        self.condvars[name] = cv
+        return cv
+
+    def create_mailbox(
+        self, name: str, capacity: int = 8, max_message_size: int = 64
+    ) -> Mailbox:
+        """Create a bounded message-passing mailbox."""
+        if name in self.mailboxes:
+            raise KernelError(f"mailbox {name} already exists")
+        mbox = Mailbox(name, capacity, max_message_size)
+        self.mailboxes[name] = mbox
+        return mbox
+
+    def create_channel(self, name: str, slots: int = 4) -> StateChannel:
+        """Create a lock-free state-message channel with N slots."""
+        if name in self.channels:
+            raise KernelError(f"channel {name} already exists")
+        channel = StateChannel(name, slots)
+        self.channels[name] = channel
+        return channel
+
+    def create_shared_memory(self, name: str, size: int) -> SharedMemory:
+        """Allocate a shared-memory object mappable into processes."""
+        if name in self.shared_memory:
+            raise KernelError(f"shared memory {name} already exists")
+        shm = SharedMemory(name, size, self.allocator)
+        self.shared_memory[name] = shm
+        return shm
+
+    def create_timer(
+        self,
+        name: str,
+        interval: int,
+        callback: Callable[["Kernel"], None],
+        periodic: bool = False,
+    ) -> Timer:
+        """Create a software timer (start it with ``timer.start()``)."""
+        if name in self.timers:
+            raise KernelError(f"timer {name} already exists")
+        timer = Timer(self, name, interval, callback, periodic=periodic)
+        self.timers[name] = timer
+        return timer
+
+    # ------------------------------------------------------------------
+    # thread state transitions
+    # ------------------------------------------------------------------
+    def block_thread(self, thread: Thread, reason: str) -> None:
+        """Block a thread, charging ``t_b`` (Section 5.1)."""
+        if thread.state == ThreadState.BLOCKED:
+            raise KernelError(f"{thread.name} is already blocked")
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = reason
+        cost = self.scheduler.on_block(thread)
+        self.charge(cost, "sched")
+        self._need_resched = True
+
+    def unblock_thread(self, thread: Thread) -> None:
+        """Make a blocked thread ready, charging ``t_u`` and ``t_s``."""
+        if thread.dead:
+            return
+        if thread.state != ThreadState.BLOCKED and thread.state != ThreadState.IDLE:
+            raise KernelError(f"{thread.name} is not blocked")
+        if thread.suspended:
+            # Deferred wake-up: the thread becomes runnable at resume.
+            thread.blocked_on = "suspended"
+            return
+        thread.state = ThreadState.READY
+        thread.blocked_on = None
+        cost = self.scheduler.on_unblock(thread)
+        self.charge(cost, "sched")
+        # The paper's model: the scheduler is invoked on every unblock.
+        self._dispatch()
+
+    def deliver_unblock(self, thread: Thread) -> None:
+        """Unblock path with the Section 6.2 hint check.
+
+        If the thread's suspended blocking call carried a semaphore
+        hint and that semaphore is locked, the thread is parked on the
+        semaphore instead of waking (context switch C2 eliminated).
+        """
+        hint = thread.pending_hint
+        thread.pending_hint = None
+        if hint is not None:
+            sem = self.semaphores.get(hint)
+            if sem is not None and hasattr(sem, "on_hint_unblock"):
+                if sem.on_hint_unblock(self, thread):
+                    thread.blocked_on = f"sem-parked:{hint}"
+                    return
+        self.unblock_thread(thread)
+
+    def activate(self, thread_name: str, at: Optional[int] = None) -> bool:
+        """Activate an aperiodic thread (from an ISR or another thread).
+
+        Returns False when the activation was rejected by the sporadic
+        admission guard (an arrival sooner than the thread's declared
+        minimum inter-arrival time -- the assumption every response-time
+        guarantee for sporadic work rests on).
+        """
+        thread = self.threads[thread_name]
+        if thread.periodic:
+            raise KernelError(f"{thread.name} is periodic; it releases itself")
+        if at is not None and at > self.now:
+            self.schedule_event(at, lambda: self.activate(thread_name))
+            return True
+        if thread.dead:
+            return False
+        if (
+            thread.min_interarrival is not None
+            and thread.last_activation is not None
+            and self.now - thread.last_activation < thread.min_interarrival
+        ):
+            self.trace.note(self.now, "sporadic-rejected", thread.name)
+            return False
+        thread.last_activation = self.now
+        if thread.state == ThreadState.IDLE:
+            thread.start_job(self.now)
+            self.trace.job_released(
+                thread.name, self.now, thread.abs_deadline, thread.job_no
+            )
+            self._arm_deadline_check(thread)
+            self.deliver_unblock(thread)
+        else:
+            thread.pending_releases += 1
+            self.trace.note(self.now, "activation-queued", thread.name)
+        return True
+
+    # ------------------------------------------------------------------
+    # thread management (suspend / resume / kill)
+    # ------------------------------------------------------------------
+    def suspend_thread(self, name: str) -> None:
+        """Take a thread out of scheduling until :meth:`resume_thread`.
+
+        A suspended thread keeps its program state; wake-ups (event
+        signals, releases) that arrive meanwhile are deferred, not
+        lost: the thread becomes runnable again at resume.
+        """
+        thread = self.threads[name]
+        if thread.dead:
+            raise KernelError(f"{name} is dead")
+        if thread.suspended:
+            raise KernelError(f"{name} is already suspended")
+        thread.suspended = True
+        if thread.state in (ThreadState.READY, ThreadState.RUNNING):
+            self.block_thread(thread, "suspended")
+            self.trace.note(self.now, "suspend", name)
+            self._dispatch_if_needed()
+        else:
+            self.trace.note(self.now, "suspend", name)
+
+    def resume_thread(self, name: str) -> None:
+        """Make a suspended thread schedulable again."""
+        thread = self.threads[name]
+        if not thread.suspended:
+            raise KernelError(f"{name} is not suspended")
+        thread.suspended = False
+        self.trace.note(self.now, "resume", name)
+        if thread.blocked_on == "suspended":
+            # It was runnable when suspended (or a wake-up arrived
+            # while suspended): back onto the ready queue.
+            self.unblock_thread(thread)
+        # Otherwise it is still genuinely blocked (semaphore, event...)
+        # and will wake through the normal path.
+
+    def kill_thread(self, name: str) -> None:
+        """Remove a thread permanently.
+
+        Refused while the thread holds any semaphore (killing a lock
+        holder would strand its critical section -- the kernel reports
+        the error instead, like any self-respecting RTOS).
+        """
+        thread = self.threads[name]
+        if thread.dead:
+            raise KernelError(f"{name} is already dead")
+        if thread.held_sems:
+            raise KernelError(
+                f"cannot kill {name}: it holds {sorted(thread.held_sems)}"
+            )
+        thread.dead = True
+        # Purge it from every wait structure.
+        for sem in self.semaphores.values():
+            if thread in sem.waiters:
+                sem.waiters.remove(thread)
+            parked = getattr(sem, "parked", None)
+            if parked is not None and thread in parked:
+                parked.remove(thread)
+            registry = getattr(sem, "registry", None)
+            if registry is not None and thread in registry:
+                registry.remove(thread)
+        for event in self.events_by_name.values():
+            if thread in event.waiters:
+                event.waiters.remove(thread)
+        for mbox in self.mailboxes.values():
+            if thread in mbox.receivers:
+                mbox.receivers.remove(thread)
+            if thread in mbox.senders:
+                mbox.senders.remove(thread)
+        for cv in self.condvars.values():
+            cv.waiters = [(t, m) for (t, m) in cv.waiters if t is not thread]
+        release_event = self._release_events.pop(name, None)
+        if release_event is not None:
+            release_event.cancel()
+        if thread.ready:
+            self.scheduler.on_block(thread)
+        self.scheduler.remove_task(thread)
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = "dead"
+        self.trace.note(self.now, "kill", name)
+        if self.running is thread:
+            self.running = None
+        self._need_resched = True
+        self._dispatch_if_needed()
+
+    # ------------------------------------------------------------------
+    # periodic releases
+    # ------------------------------------------------------------------
+    def _schedule_release(self, thread: Thread, nominal: int) -> None:
+        self._release_events[thread.name] = self.schedule_event(
+            nominal,
+            lambda: self._on_release(thread, nominal),
+            label=f"release:{thread.name}",
+        )
+
+    def _on_release(self, thread: Thread, nominal: int) -> None:
+        assert thread.spec is not None
+        if thread.dead:
+            return
+        self._schedule_release(thread, nominal + thread.spec.period)
+        if thread.state == ThreadState.IDLE:
+            thread.start_job(nominal)
+            self.trace.job_released(
+                thread.name, nominal, thread.abs_deadline, thread.job_no
+            )
+            self._arm_deadline_check(thread)
+            thread.pending_hint = thread.period_hint
+            self.deliver_unblock(thread)
+        else:
+            thread.pending_releases += 1
+            self.trace.note(self.now, "release-overrun", thread.name)
+            if self.stop_on_deadline_miss:
+                self._stop = True
+
+    def _arm_deadline_check(self, thread: Thread) -> None:
+        if not self.stop_on_deadline_miss or thread.abs_deadline is None:
+            return
+        job = thread.job_no
+
+        def check() -> None:
+            if thread.completed_jobs < job:
+                self.trace.note(self.now, "deadline-overrun", thread.name)
+                self._stop = True
+
+        self.schedule_event(thread.abs_deadline, check, f"dl:{thread.name}")
+
+    def _complete_job(self, thread: Thread) -> None:
+        thread.completed_jobs += 1
+        record = self.trace.job_completed(thread.name, thread.job_no, self.now)
+        if (
+            self.stop_on_deadline_miss
+            and record is not None
+            and record.missed
+        ):
+            self._stop = True
+        if thread.pending_releases > 0:
+            thread.pending_releases -= 1
+            if thread.periodic:
+                assert thread.spec is not None
+                nominal = thread.release_time + thread.spec.period
+            else:
+                nominal = self.now
+            thread.start_job(nominal)
+            self.trace.job_released(
+                thread.name, nominal, thread.abs_deadline, thread.job_no
+            )
+            self._arm_deadline_check(thread)
+            return  # stays ready; next job starts immediately
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = "period" if thread.periodic else "activation"
+        thread.abs_deadline = None
+        cost = self.scheduler.on_block(thread)
+        self.charge(cost, "sched")
+        thread.state = ThreadState.IDLE
+        thread.pending_hint = thread.period_hint
+        self._need_resched = True
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Run the scheduler (charging ``t_s``) and switch if needed."""
+        self._need_resched = False
+        selected, cost = self.scheduler.select()
+        self.charge(cost, "sched")
+        new = selected if isinstance(selected, Thread) else None
+        if new is self.running:
+            return
+        old = self.running
+        self.charge(self.model.context_switch_ns, "context-switch")
+        if old is not None and old.state == ThreadState.RUNNING:
+            old.state = ThreadState.READY
+        if new is not None:
+            new.state = ThreadState.RUNNING
+        self.running = new
+        self.trace.context_switch(
+            self.now, old.name if old else None, new.name if new else None
+        )
+
+    def _dispatch_if_needed(self) -> None:
+        if self._need_resched:
+            self._dispatch()
+
+    # ------------------------------------------------------------------
+    # the run loop
+    # ------------------------------------------------------------------
+    def run_until(self, t_end: int) -> Trace:
+        """Advance virtual time to ``t_end`` (ns), executing threads."""
+        if t_end < self.now:
+            raise ValueError("cannot run into the past")
+        self._stop = False
+        while not self._stop:
+            self._drain_due_events()
+            self._dispatch_if_needed()
+            if self.now >= t_end:
+                break
+            if self.running is None:
+                nxt = self.events.peek_time()
+                if nxt is None or nxt >= t_end:
+                    self.trace.add_segment(self.now, t_end, IDLE)
+                    self.clock.advance_to(t_end)
+                    break
+                self.trace.add_segment(self.now, nxt, IDLE)
+                self.clock.advance_to(nxt)
+                continue
+            self._step_running(t_end)
+        return self.trace
+
+    def run_for(self, duration: int) -> Trace:
+        """Advance virtual time by ``duration`` ns."""
+        return self.run_until(self.now + duration)
+
+    def _drain_due_events(self) -> None:
+        while True:
+            event = self.events.pop_due(self.now)
+            if event is None:
+                return
+            event.action()
+
+    def _step_running(self, t_end: int) -> None:
+        thread = self.running
+        assert thread is not None
+        op = thread.current_op()
+        if op is None:
+            self._complete_job(thread)
+            self._dispatch_if_needed()
+            return
+        if isinstance(op, (ops.Compute, ops.StateRead)):
+            self._step_timed(thread, op, t_end)
+            return
+        try:
+            self._execute_op(thread, op)
+        except ProtectionFault as fault:
+            self._handle_fault(thread, fault)
+        self._dispatch_if_needed()
+
+    def _handle_fault(self, thread: Thread, fault: "ProtectionFault") -> None:
+        """A memory-protection violation terminates the offending
+        thread -- the kernel itself survives (the whole point of the
+        protection boundary, Section 3).  With ``fault_policy="raise"``
+        the fault propagates instead (strict mode for tests/debugging).
+        """
+        self.trace.note(self.now, "protection-fault", f"{thread.name}: {fault}")
+        if self.fault_policy == "raise":
+            raise fault
+        if thread.held_sems:
+            # Release held locks so the fault cannot deadlock others.
+            for sem_name in list(thread.held_sems):
+                self.semaphores[sem_name].release(self, thread)
+        self.kill_thread(thread.name)
+
+    # ------------------------------------------------------------------
+    # timed (preemptible) ops: Compute and slot-copying StateRead
+    # ------------------------------------------------------------------
+    def _step_timed(self, thread: Thread, op, t_end: int) -> None:
+        if not thread.op_started:
+            thread.op_started = True
+            if isinstance(op, ops.StateRead):
+                channel = self._channel(op.channel)
+                self.charge(self.model.state_msg_read_ns, "state-msg")
+                if op.duration == 0:
+                    thread.last_read = channel.read()
+                    self._finish_op(thread)
+                    return
+                thread.read_token = channel.begin_read()
+                thread.remaining = op.duration
+            else:
+                thread.remaining = op.duration
+                if thread.remaining == 0:
+                    self._finish_op(thread)
+                    return
+        horizon = self.events.peek_time()
+        limit = t_end if horizon is None else min(t_end, horizon)
+        if limit <= self.now:
+            return  # an event is due; the main loop drains it first
+        run = min(thread.remaining, limit - self.now)
+        start = self.now
+        self.clock.advance_by(run)
+        self.trace.add_segment(start, self.now, thread.name)
+        thread.remaining -= run
+        if thread.remaining > 0:
+            return
+        if isinstance(op, ops.StateRead):
+            channel = self._channel(op.channel)
+            try:
+                thread.last_read = channel.end_read(thread.read_token)
+            except TornRead:
+                # Retry the copy from the (new) latest slot.
+                self.trace.note(self.now, "torn-read", f"{thread.name}@{op.channel}")
+                thread.read_token = channel.begin_read()
+                thread.remaining = op.duration
+                return
+            thread.read_token = None
+        self._finish_op(thread)
+
+    def _finish_op(self, thread: Thread) -> None:
+        thread.pc += 1
+        thread.op_started = False
+        thread.remaining = 0
+
+    # ------------------------------------------------------------------
+    # kernel op interpreter
+    # ------------------------------------------------------------------
+    def _execute_op(self, thread: Thread, op) -> None:
+        if isinstance(op, ops.Acquire):
+            self._charge_syscall()
+            self._semaphore(op.sem).acquire(self, thread)
+            self._finish_op(thread)
+        elif isinstance(op, ops.Release):
+            self._charge_syscall()
+            self._semaphore(op.sem).release(self, thread)
+            self._finish_op(thread)
+        elif isinstance(op, ops.Wait):
+            self._charge_syscall()
+            self._event(op.event).wait(self, thread, hint=op.hint)
+            self._finish_op(thread)
+        elif isinstance(op, ops.Signal):
+            self._charge_syscall()
+            self._event(op.event).signal(self)
+            self._finish_op(thread)
+        elif isinstance(op, ops.Send):
+            self._charge_syscall()
+            done = self._mailbox(op.mailbox).send(
+                self, thread, op.payload, op.size, buffer=op.buffer
+            )
+            if done:
+                self._finish_op(thread)
+            # else: the op re-executes when a slot frees up
+        elif isinstance(op, ops.Recv):
+            self._charge_syscall()
+            self._mailbox(op.mailbox).recv(
+                self, thread, buffer=op.buffer, hint=op.hint
+            )
+            self._finish_op(thread)
+        elif isinstance(op, ops.CvWait):
+            self._charge_syscall()
+            self._condvar(op.condvar).wait(self, thread, op.mutex)
+            self._finish_op(thread)
+        elif isinstance(op, ops.CvSignal):
+            self._charge_syscall()
+            self._condvar(op.condvar).signal(self, thread)
+            self._finish_op(thread)
+        elif isinstance(op, ops.CvBroadcast):
+            self._charge_syscall()
+            self._condvar(op.condvar).broadcast(self, thread)
+            self._finish_op(thread)
+        elif isinstance(op, ops.StateWrite):
+            # User-level: no kernel trap, only the slot write cost.
+            self.charge(self.model.state_msg_write_ns, "state-msg")
+            self._channel(op.channel).write(op.value, writer_name=thread.name)
+            self._finish_op(thread)
+        elif isinstance(op, ops.Sleep):
+            self._charge_syscall()
+            thread.pending_hint = op.hint
+            wake_at = self.now + op.duration
+            self.schedule_event(
+                wake_at, lambda: self.deliver_unblock(thread), f"wake:{thread.name}"
+            )
+            self.block_thread(thread, "sleep")
+            self._finish_op(thread)
+        elif isinstance(op, ops.Call):
+            self._charge_syscall()
+            op.fn(self, thread)
+            self._finish_op(thread)
+        else:
+            raise KernelError(f"unknown op {op!r}")
+
+    def _charge_syscall(self) -> None:
+        self.syscall_count += 1
+        self.charge(self.model.syscall_ns, "syscall")
+
+    # ------------------------------------------------------------------
+    # registry lookups
+    # ------------------------------------------------------------------
+    def _semaphore(self, name: str) -> StandardSemaphore:
+        if name not in self.semaphores:
+            raise KernelError(f"unknown semaphore {name}")
+        return self.semaphores[name]
+
+    def _event(self, name: str) -> KernelEvent:
+        if name not in self.events_by_name:
+            raise KernelError(f"unknown event {name}")
+        return self.events_by_name[name]
+
+    def _mailbox(self, name: str) -> Mailbox:
+        if name not in self.mailboxes:
+            raise KernelError(f"unknown mailbox {name}")
+        return self.mailboxes[name]
+
+    def _condvar(self, name: str) -> ConditionVariable:
+        if name not in self.condvars:
+            raise KernelError(f"unknown condvar {name}")
+        return self.condvars[name]
+
+    def _channel(self, name: str) -> StateChannel:
+        if name not in self.channels:
+            raise KernelError(f"unknown channel {name}")
+        return self.channels[name]

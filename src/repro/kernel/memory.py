@@ -1,0 +1,118 @@
+"""Memory regions and protection checks.
+
+EMERALDS provides "full memory protection for threads" (Section 3)
+without virtual memory: processes own statically mapped regions of the
+single physical address space, and the kernel validates that IPC
+buffers lie inside regions the caller has mapped with the right access.
+We substitute the MMU with software checks over the same region
+structures; the *validation logic* -- the part that belongs to the OS
+-- is executed in full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["Region", "MemoryMap", "ProtectionFault"]
+
+
+class ProtectionFault(Exception):
+    """Raised when an access violates a process's memory map."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """One mapped region of the flat physical address space."""
+
+    name: str
+    base: int
+    size: int
+    readable: bool = True
+    writable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ValueError(f"region {self.name}: invalid extent")
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int, length: int = 1) -> bool:
+        """True when ``[address, address+length)`` lies in the region."""
+        return self.base <= address and address + length <= self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two regions share any address."""
+        return self.base < other.end and other.base < self.end
+
+
+class MemoryMap:
+    """The set of regions a process has mapped."""
+
+    def __init__(self):
+        self._regions: Dict[str, Region] = {}
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def regions(self) -> List[Region]:
+        """All mapped regions."""
+        return list(self._regions.values())
+
+    def map(self, region: Region) -> None:
+        """Add a region; overlapping or duplicate names are rejected."""
+        if region.name in self._regions:
+            raise ValueError(f"region {region.name} already mapped")
+        for existing in self._regions.values():
+            if existing.overlaps(region):
+                raise ValueError(
+                    f"region {region.name} overlaps {existing.name}"
+                )
+        self._regions[region.name] = region
+
+    def unmap(self, name: str) -> Region:
+        """Remove and return a region by name."""
+        if name not in self._regions:
+            raise KeyError(f"region {name} is not mapped")
+        return self._regions.pop(name)
+
+    def region(self, name: str) -> Region:
+        """Look a region up by name; faults when unmapped."""
+        if name not in self._regions:
+            raise ProtectionFault(f"region {name} is not mapped")
+        return self._regions[name]
+
+    def check_readable(self, name: str, length: int = 1) -> Region:
+        """Validate a read of ``length`` bytes from the named region."""
+        region = self.region(name)
+        if not region.readable:
+            raise ProtectionFault(f"region {name} is not readable")
+        if length > region.size:
+            raise ProtectionFault(
+                f"read of {length} bytes exceeds region {name} ({region.size} bytes)"
+            )
+        return region
+
+    def check_writable(self, name: str, length: int = 1) -> Region:
+        """Validate a write of ``length`` bytes into the named region."""
+        region = self.region(name)
+        if not region.writable:
+            raise ProtectionFault(f"region {name} is not writable")
+        if length > region.size:
+            raise ProtectionFault(
+                f"write of {length} bytes exceeds region {name} ({region.size} bytes)"
+            )
+        return region
+
+    def find(self, address: int) -> Optional[Region]:
+        """Region containing ``address``, if any."""
+        for region in self._regions.values():
+            if region.contains(address):
+                return region
+        return None

@@ -1,0 +1,222 @@
+"""Thread programs: declarative operation lists.
+
+EMERALDS applications are compiled C/C++; their structure (which
+semaphore each ``acquire_sem()`` call locks, which blocking call
+precedes it) is visible to the static code parser of Section 6.2.1.
+Our substitute is a *declarative program*: each thread's body is a
+sequence of operations the kernel interprets.  Because the body is
+data, the code parser (:mod:`repro.sync.parser`) can perform the same
+rewrite the paper's parser does -- annotate the blocking call that
+precedes each ``Acquire`` with the semaphore identifier.
+
+A periodic thread executes its body once per period; the implicit
+block/unblock at the period boundary (Section 5.1) is provided by the
+kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+__all__ = [
+    "Op",
+    "Compute",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Signal",
+    "Send",
+    "Recv",
+    "CvWait",
+    "CvSignal",
+    "CvBroadcast",
+    "StateWrite",
+    "StateRead",
+    "Sleep",
+    "Call",
+    "Program",
+]
+
+
+class Op:
+    """Base class for thread operations."""
+
+    #: Ops that may block the calling thread ("blocking system calls").
+    blocking = False
+
+
+@dataclass
+class Compute(Op):
+    """Execute application code for ``duration`` ns (preemptible)."""
+
+    duration: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("compute duration must be non-negative")
+
+
+@dataclass
+class Acquire(Op):
+    """``acquire_sem()``: lock a semaphore, blocking if unavailable."""
+
+    sem: str
+    blocking = True
+
+
+@dataclass
+class Release(Op):
+    """``release_sem()``: unlock a semaphore."""
+
+    sem: str
+
+
+@dataclass
+class Wait(Op):
+    """Block until a kernel event is signalled.
+
+    ``hint`` names the semaphore the thread will lock next, the extra
+    parameter the code parser of Section 6.2.1 inserts; ``None`` (the
+    paper's ``-1``) means the next blocking call is not an acquire.
+    """
+
+    event: str
+    hint: Optional[str] = None
+    blocking = True
+
+
+@dataclass
+class Signal(Op):
+    """Signal a kernel event, waking its waiters."""
+
+    event: str
+
+
+@dataclass
+class Send(Op):
+    """Send a message to a mailbox (blocks when the mailbox is full)."""
+
+    mailbox: str
+    size: int = 16
+    payload: Any = None
+    buffer: Optional[str] = None
+    blocking = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("message size must be positive")
+
+
+@dataclass
+class Recv(Op):
+    """Receive from a mailbox (blocks when empty).
+
+    ``hint`` plays the same role as on :class:`Wait`: mailbox receive
+    is a blocking call, so the code parser annotates it too.
+    """
+
+    mailbox: str
+    buffer: Optional[str] = None
+    hint: Optional[str] = None
+    blocking = True
+
+
+@dataclass
+class CvWait(Op):
+    """Wait on a condition variable, releasing ``mutex`` atomically."""
+
+    condvar: str
+    mutex: str
+    blocking = True
+
+
+@dataclass
+class CvSignal(Op):
+    """Wake one waiter of a condition variable."""
+
+    condvar: str
+
+
+@dataclass
+class CvBroadcast(Op):
+    """Wake every waiter of a condition variable."""
+
+    condvar: str
+
+
+@dataclass
+class StateWrite(Op):
+    """Publish a value to a state-message channel (never blocks)."""
+
+    channel: str
+    value: Any = None
+
+
+@dataclass
+class StateRead(Op):
+    """Read the latest value of a state-message channel (never blocks).
+
+    ``duration`` models the time spent copying the slot; a non-zero
+    duration makes the read preemptible, which is what the slot-count
+    rule of the state-message design protects against.
+    """
+
+    channel: str
+    duration: int = 0
+
+
+@dataclass
+class Sleep(Op):
+    """Block for a relative amount of virtual time."""
+
+    duration: int
+    hint: Optional[str] = None
+    blocking = True
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("sleep duration must be non-negative")
+
+
+@dataclass
+class Call(Op):
+    """Escape hatch: invoke ``fn(kernel, thread)`` as a system call.
+
+    Used by examples and tests for behaviour the op set does not model
+    (reading the clock into a variable, custom assertions...).  The
+    call is charged one syscall entry.
+    """
+
+    fn: Callable[[Any, Any], None]
+    label: str = "call"
+
+
+class Program:
+    """An immutable sequence of operations forming a thread body."""
+
+    def __init__(self, ops: Sequence[Op]):
+        for op in ops:
+            if not isinstance(op, Op):
+                raise TypeError(f"not an Op: {op!r}")
+        self._ops: Tuple[Op, ...] = tuple(ops)
+
+    @property
+    def ops(self) -> Tuple[Op, ...]:
+        return self._ops
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __getitem__(self, index: int) -> Op:
+        return self._ops[index]
+
+    def __iter__(self):
+        return iter(self._ops)
+
+    def compute_total(self) -> int:
+        """Total ``Compute`` time in the body (ns) -- the nominal c_i."""
+        return sum(op.duration for op in self._ops if isinstance(op, Compute))
+
+    def __repr__(self) -> str:
+        return f"Program({len(self._ops)} ops, c={self.compute_total()}ns)"

@@ -1,0 +1,83 @@
+"""User-facing system call interface.
+
+EMERALDS optimizes the user/kernel transition: "user threads enter
+protected kernel mode to simply call kernel procedures, simplifying
+interfaces" (Section 4).  This facade is that interface: every call
+charges one (configurable) syscall entry and is counted per name, so
+experiments can quantify trap overhead (the ``syscall_ns`` knob of the
+overhead model).
+
+Thread programs normally use ops directly; this interface serves
+``Call`` op bodies, interrupt handlers, and example code that drives
+the kernel imperatively.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["Syscalls"]
+
+
+class Syscalls:
+    """Per-kernel system call dispatcher with call accounting."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.counts: Counter = Counter()
+
+    def _enter(self, name: str) -> "Kernel":
+        kernel = self._kernel
+        self.counts[name] += 1
+        kernel.syscall_count += 1
+        kernel.charge(kernel.model.syscall_ns, "syscall")
+        return kernel
+
+    # ------------------------------------------------------------------
+    # clock services
+    # ------------------------------------------------------------------
+    def get_time(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._enter("get_time").now
+
+    # ------------------------------------------------------------------
+    # events and activation
+    # ------------------------------------------------------------------
+    def signal_event(self, name: str) -> int:
+        """Signal a kernel event; returns the number of threads woken."""
+        kernel = self._enter("signal_event")
+        return kernel.events_by_name[name].signal(kernel)
+
+    def activate_thread(self, name: str) -> None:
+        """Activate an aperiodic thread."""
+        self._enter("activate_thread").activate(name)
+
+    # ------------------------------------------------------------------
+    # state messages (user-level: *no* trap charged -- that is the
+    # whole point of the mechanism; provided here for ISR use)
+    # ------------------------------------------------------------------
+    def state_write(self, channel: str, value: Any, writer: Optional[str] = None) -> None:
+        """Publish a value on a state channel (no kernel trap)."""
+        kernel = self._kernel
+        self.counts["state_write"] += 1
+        kernel.charge(kernel.model.state_msg_write_ns, "state-msg")
+        kernel.channels[channel].write(value, writer_name=writer)
+
+    def state_read(self, channel: str) -> Any:
+        """Read the latest value of a state channel (no kernel trap)."""
+        kernel = self._kernel
+        self.counts["state_read"] += 1
+        kernel.charge(kernel.model.state_msg_read_ns, "state-msg")
+        return kernel.channels[channel].read()
+
+    # ------------------------------------------------------------------
+    # interrupts
+    # ------------------------------------------------------------------
+    def raise_interrupt(self, vector: int) -> None:
+        """Software interrupt injection."""
+        self._enter("raise_interrupt").interrupts.raise_interrupt(vector)

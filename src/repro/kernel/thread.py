@@ -1,0 +1,210 @@
+"""Kernel threads: TCBs binding a program to a schedulable entity.
+
+A thread is the unit of scheduling (EMERALDS threads are
+kernel-scheduled, Section 3).  Periodic threads re-execute their
+program once per period and carry a deadline per job; aperiodic
+threads are activated explicitly (by an interrupt handler or another
+thread) and run their program once per activation.
+
+The TCB inherits the scheduler-facing fields from
+:class:`~repro.core.queues.Schedulable` (ready flag, priority keys,
+deadlines) and adds program state, blocking state, and the Section 6
+semaphore bookkeeping (held semaphores, the parser-inserted hint of
+the blocking call the thread is currently suspended in, registry
+membership).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional, Set
+
+from repro.core.queues import Schedulable
+from repro.core.task import TaskSpec
+from repro.kernel.program import Program
+
+if TYPE_CHECKING:
+    from repro.kernel.process import Process
+
+__all__ = ["Thread", "ThreadState"]
+
+
+class ThreadState(enum.Enum):
+    """Life-cycle states of a thread."""
+
+    #: Created, waiting for its first release/activation.
+    IDLE = "idle"
+    #: Runnable (on its scheduler queue, ready flag set).
+    READY = "ready"
+    #: Currently executing on the (single) CPU.
+    RUNNING = "running"
+    #: Blocked in a system call (semaphore, event, mailbox, sleep...).
+    BLOCKED = "blocked"
+
+
+class Thread(Schedulable):
+    """A kernel thread executing a :class:`Program`.
+
+    Args:
+        name: Unique thread name.
+        program: The body to execute each activation.
+        spec: Periodic parameters; ``None`` makes the thread aperiodic
+            (activated via :meth:`repro.kernel.kernel.Kernel.activate`).
+        process: Owning protection domain (may be ``None`` for
+            kernel-test threads that never touch memory).
+        priority: Explicit fixed-priority value for aperiodic threads;
+            periodic threads derive their RM key from the period.
+        relative_deadline: Deadline for aperiodic activations (ns after
+            activation); defaults to no deadline.
+        fp_policy: Fixed-priority assignment for periodic threads:
+            ``"rm"`` (rate-monotonic, the default) or ``"dm"``
+            (deadline-monotonic) -- Section 5.3 allows either for the
+            FP queue.
+    """
+
+    __slots__ = (
+        "spec",
+        "program",
+        "process",
+        "state",
+        "pc",
+        "remaining",
+        "job_no",
+        "release_time",
+        "pending_releases",
+        "relative_deadline",
+        "blocked_on",
+        "pending_hint",
+        "held_sems",
+        "registered_on",
+        "parked_on",
+        "inbox",
+        "last_received",
+        "last_read",
+        "completed_jobs",
+        "pi_donor_of",
+        "op_started",
+        "read_token",
+        "period_hint",
+        "suspended",
+        "dead",
+        "min_interarrival",
+        "last_activation",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        program: Program,
+        spec: Optional[TaskSpec] = None,
+        process: Optional["Process"] = None,
+        priority: Optional[int] = None,
+        relative_deadline: Optional[int] = None,
+        fp_policy: str = "rm",
+    ):
+        if fp_policy not in ("rm", "dm"):
+            raise ValueError(f"thread {name}: unknown fp_policy {fp_policy!r}")
+        if spec is not None:
+            key_field = spec.period if fp_policy == "rm" else spec.deadline
+            base_key = (key_field, name)
+        elif priority is not None:
+            base_key = (priority, name)
+        else:
+            raise ValueError(
+                f"thread {name}: aperiodic threads need an explicit priority"
+            )
+        super().__init__(name, base_key)
+        self.spec = spec
+        self.program = program
+        self.process = process
+        if process is not None:
+            process.threads.append(self)
+        self.state = ThreadState.IDLE
+        #: Program counter into ``program.ops``.
+        self.pc = 0
+        #: Remaining nanoseconds of the current Compute op.
+        self.remaining = 0
+        #: Number of the job currently executing (1-based).
+        self.job_no = 0
+        #: Nominal release time of the current job.
+        self.release_time = 0
+        #: Releases that arrived while a previous job was still running.
+        self.pending_releases = 0
+        if relative_deadline is not None:
+            self.relative_deadline: Optional[int] = relative_deadline
+        elif spec is not None:
+            self.relative_deadline = spec.deadline
+        else:
+            self.relative_deadline = None
+        #: What the thread is blocked in ("sem:mtx", "event:crank", ...).
+        self.blocked_on: Optional[str] = None
+        #: Semaphore hint carried by the blocking call the thread is
+        #: suspended in (inserted by the code parser, Section 6.2.1).
+        self.pending_hint: Optional[str] = None
+        #: Semaphores currently held (acquisition order).
+        self.held_sems: List[str] = []
+        #: Pre-lock registry queues the thread is on (Section 6.3.1).
+        self.registered_on: Set[str] = set()
+        #: Semaphore this thread is parked on (hint check found the
+        #: semaphore locked, so the unblock was suppressed).
+        self.parked_on: Optional[str] = None
+        #: Messages delivered while blocked in Recv.
+        self.inbox: List[object] = []
+        #: Payload of the last completed Recv.
+        self.last_received: Optional[object] = None
+        #: Value of the last completed StateRead.
+        self.last_read: Optional[object] = None
+        self.completed_jobs = 0
+        #: Name of the thread currently acting as this thread's PI
+        #: place-holder, if any (EMERALDS O(1) PI, Section 6.2).
+        self.pi_donor_of: Optional[str] = None
+        #: True when the current op began executing (multi-phase ops
+        #: such as timed StateReads).
+        self.op_started = False
+        #: In-progress state-message read token.
+        self.read_token: Optional[object] = None
+        #: Semaphore hint for the implicit period-boundary block (the
+        #: parser sets this when the body's first blocking-relevant op
+        #: is an Acquire).
+        self.period_hint: Optional[str] = None
+        #: Suspended by ``Kernel.suspend_thread``; wake-ups are
+        #: deferred until resume.
+        self.suspended = False
+        #: Killed by ``Kernel.kill_thread``; never scheduled again.
+        self.dead = False
+        #: Sporadic minimum inter-arrival time for aperiodic threads
+        #: (ns); activations arriving sooner are rejected.
+        self.min_interarrival: Optional[int] = None
+        #: Time of the last accepted activation.
+        self.last_activation: Optional[int] = None
+
+    @property
+    def periodic(self) -> bool:
+        return self.spec is not None
+
+    @property
+    def period(self) -> Optional[int]:
+        return self.spec.period if self.spec is not None else None
+
+    def current_op(self):
+        """The op at the program counter, or ``None`` past the end."""
+        if self.pc >= len(self.program):
+            return None
+        return self.program[self.pc]
+
+    def start_job(self, release_time: int) -> None:
+        """Reset program state for a new activation."""
+        self.job_no += 1
+        self.release_time = release_time
+        self.pc = 0
+        self.remaining = 0
+        if self.relative_deadline is not None:
+            self.abs_deadline = release_time + self.relative_deadline
+        else:
+            self.abs_deadline = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Thread {self.name} {self.state.value} pc={self.pc} "
+            f"job={self.job_no}>"
+        )

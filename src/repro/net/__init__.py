@@ -1,0 +1,37 @@
+"""Distributed substrate: fieldbus, node interfaces, clusters.
+
+The paper's distributed targets are "5-10 nodes interconnected by a
+low-speed (1-2 Mbit/s) fieldbus network (such as automotive and
+avionics control systems)" (Section 2).  Inter-node protocols proper
+are out of the paper's scope (footnote 1), but the *substrate* --
+network device drivers under user-level driver threads, Figure 1 --
+is part of the kernel's job and is built here.
+"""
+
+from repro.net.analysis import (
+    MessageStream,
+    assign_deadline_monotonic_ids,
+    bus_response_times,
+    bus_schedulable,
+    bus_utilization,
+)
+from repro.net.cluster import Cluster
+from repro.net.fieldbus import Delivery, Fieldbus, TransmitRequest
+from repro.net.frame import Frame, frame_bits
+from repro.net.node import NetInterface, net_send
+
+__all__ = [
+    "Cluster",
+    "Delivery",
+    "Fieldbus",
+    "Frame",
+    "MessageStream",
+    "NetInterface",
+    "TransmitRequest",
+    "assign_deadline_monotonic_ids",
+    "bus_response_times",
+    "bus_schedulable",
+    "bus_utilization",
+    "frame_bits",
+    "net_send",
+]

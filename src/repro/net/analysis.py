@@ -1,0 +1,135 @@
+"""Fieldbus schedulability analysis for periodic message streams.
+
+The paper defers inter-node scheduling to its companion work [37, 40]
+(deadline-based scheduling of messages on CAN-class fieldbuses).  This
+module implements the core of that layer for our bus model: worst-case
+response-time analysis of periodic message streams under fixed-priority
+(identifier-based) arbitration, plus deadline-monotonic identifier
+assignment.
+
+The analysis is the classic one for CAN: a frame of stream ``i``
+suffers
+
+* **blocking** ``B_i``: one maximal lower-priority frame already on the
+  wire (arbitration is non-preemptive);
+* **interference**: higher-priority frames released during its
+  queueing delay; the queueing fixed point is
+  ``w = B_i + sum_{j in hp(i)} ceil((w + tau) / P_j) * C_j``
+  with ``tau`` one bit time, and the response time ``R_i = w + C_i``.
+
+The stream set is schedulable when ``R_i <= D_i`` for every stream.
+Deadline-monotonic identifier assignment (shortest deadline = lowest
+identifier = highest arbitration priority) is the optimal fixed
+assignment for this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.net.fieldbus import Fieldbus
+
+__all__ = [
+    "MessageStream",
+    "assign_deadline_monotonic_ids",
+    "bus_response_times",
+    "bus_schedulable",
+    "bus_utilization",
+]
+
+_MAX_ITERATIONS = 256
+
+
+@dataclass(frozen=True)
+class MessageStream:
+    """One periodic frame stream on the bus.
+
+    Attributes:
+        name: Stream identifier for reporting.
+        can_id: Arbitration identifier (lower = higher priority).
+        size: Payload bytes per frame (0..8).
+        period: Minimum inter-frame interval at the sender (ns).
+        deadline: Relative deadline of each frame (ns); defaults to the
+            period.
+    """
+
+    name: str
+    can_id: int
+    size: int
+    period: int
+    deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"stream {self.name}: period must be positive")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", self.period)
+        if self.deadline <= 0:
+            raise ValueError(f"stream {self.name}: deadline must be positive")
+
+
+def assign_deadline_monotonic_ids(
+    streams: Sequence[MessageStream], base_id: int = 0x10
+) -> List[MessageStream]:
+    """Re-assign identifiers deadline-monotonically.
+
+    The shortest-deadline stream receives the lowest identifier (the
+    highest arbitration priority) -- the optimal fixed-priority
+    assignment for non-preemptive buses with this analysis.
+    """
+    ordered = sorted(streams, key=lambda s: (s.deadline, s.name))
+    return [
+        replace(stream, can_id=base_id + index)
+        for index, stream in enumerate(ordered)
+    ]
+
+
+def bus_utilization(streams: Sequence[MessageStream], bus: Fieldbus) -> float:
+    """Fraction of the wire consumed by the streams."""
+    return sum(bus.frame_time_ns(s.size) / s.period for s in streams)
+
+
+def bus_response_times(
+    streams: Sequence[MessageStream], bus: Fieldbus
+) -> Dict[str, Optional[int]]:
+    """Worst-case frame response time per stream (ns).
+
+    ``None`` marks a stream whose fixed point exceeds its deadline
+    (unschedulable).
+    """
+    bit_time = 1_000_000_000 // bus.bit_rate_bps
+    ordered = sorted(streams, key=lambda s: (s.can_id, s.name))
+    results: Dict[str, Optional[int]] = {}
+    for index, stream in enumerate(ordered):
+        own_time = bus.frame_time_ns(stream.size)
+        higher = ordered[:index]
+        lower = ordered[index + 1 :]
+        blocking = max(
+            (bus.frame_time_ns(s.size) for s in lower), default=0
+        )
+        queueing = blocking
+        response: Optional[int] = None
+        for _ in range(_MAX_ITERATIONS):
+            interference = sum(
+                -(-(queueing + bit_time) // s.period) * bus.frame_time_ns(s.size)
+                for s in higher
+            )
+            nxt = blocking + interference
+            if nxt == queueing:
+                response = queueing + own_time
+                break
+            if nxt + own_time > stream.deadline:
+                break
+            queueing = nxt
+        if response is not None and response > stream.deadline:
+            response = None
+        results[stream.name] = response
+    return results
+
+
+def bus_schedulable(streams: Sequence[MessageStream], bus: Fieldbus) -> bool:
+    """True when every stream meets its deadline on ``bus``."""
+    if bus_utilization(streams, bus) > 1.0:
+        return False
+    return all(r is not None for r in bus_response_times(streams, bus).values())

@@ -1,0 +1,98 @@
+"""Multi-node clusters: 5-10 kernels sharing a fieldbus.
+
+Each node runs its own :class:`~repro.kernel.kernel.Kernel` (its own
+CPU and virtual clock); the cluster advances them in lockstep quanta
+and simulates the bus in between.  The quantum equals the smallest
+frame's wire time: since any frame needs at least that long on the
+bus, a frame transmitted during quantum k can only be delivered in
+quantum k+1 or later, so nodes never receive events in their local
+past -- the classic conservative-synchronization lookahead argument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.kernel.kernel import Kernel
+from repro.net.fieldbus import Fieldbus
+from repro.net.node import NetInterface
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A set of kernels joined by one fieldbus."""
+
+    def __init__(self, bus: Optional[Fieldbus] = None):
+        self.bus = bus if bus is not None else Fieldbus()
+        self.nodes: Dict[str, Kernel] = {}
+        self.interfaces: Dict[str, NetInterface] = {}
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Global virtual time (all nodes are at this time between
+        :meth:`run_until` calls)."""
+        return self._now
+
+    def add_node(
+        self,
+        name: str,
+        kernel: Kernel,
+        accept: Optional[Iterable[int]] = None,
+        vector: int = 15,
+    ) -> NetInterface:
+        """Attach a kernel to the bus; returns its network interface."""
+        if name in self.nodes:
+            raise ValueError(f"node {name} already exists")
+        if kernel.now != self._now:
+            raise ValueError(
+                f"node {name} joins at local time {kernel.now}, cluster is at {self._now}"
+            )
+        interface = NetInterface(name, kernel, self.bus, accept=accept, vector=vector)
+        self.nodes[name] = kernel
+        self.interfaces[name] = interface
+        return interface
+
+    def run_until(self, t_end: int) -> None:
+        """Advance every node (and the bus) to ``t_end``."""
+        if t_end < self._now:
+            raise ValueError("cannot run into the past")
+        if not self.nodes:
+            self._now = t_end
+            return
+        quantum = self.bus.min_frame_time_ns
+        while self._now < t_end:
+            boundary = min(self._now + quantum, t_end)
+            for kernel in self.nodes.values():
+                # A node may have overshot the previous boundary while
+                # charging kernel costs (kernel code is not preempted
+                # by quantum edges); never ask it to run backwards.
+                if kernel.now < boundary:
+                    kernel.run_until(boundary)
+            # Bus work that *starts* by the boundary completes at
+            # boundary + >= one frame time, i.e. in every node's local
+            # future; deliveries are scheduled into the kernels now.
+            for delivery in self.bus.process(boundary):
+                for interface in self.interfaces.values():
+                    self._schedule_delivery(interface, delivery)
+            self._now = boundary
+
+    def _schedule_delivery(self, interface: NetInterface, delivery) -> None:
+        kernel = interface.kernel
+        when = max(delivery.time, kernel.now)
+        kernel.schedule_event(
+            when,
+            lambda frame=delivery.frame, iface=interface: iface.deliver(frame),
+            label=f"net-delivery:{delivery.frame.can_id:#x}",
+        )
+
+    def run_for(self, duration: int) -> None:
+        """Advance by ``duration`` ns of global time."""
+        self.run_until(self._now + duration)
+
+    def total_deadline_violations(self) -> int:
+        """Deadline violations across every node."""
+        return sum(
+            len(k.trace.deadline_violations(k.now)) for k in self.nodes.values()
+        )

@@ -1,0 +1,114 @@
+"""The shared fieldbus medium: priority arbitration over 1-2 Mbit/s.
+
+Models the CAN-style bus of the paper's distributed targets: a single
+broadcast medium; when the bus frees, all nodes with pending frames
+arbitrate and the lowest identifier wins; a frame of b bits occupies
+the bus for ``b / bit_rate`` seconds; every node hears every frame
+(receivers filter by acceptance set).
+
+The bus is simulated *between* cluster quanta (see
+:mod:`repro.net.cluster`): transmit requests are stamped with the
+sender's local virtual time, and :meth:`Fieldbus.process` replays
+arbitration up to a horizon, producing `(delivery_time, frame)` pairs.
+Because a frame needs at least one frame-time on the wire, deliveries
+always land at or after the next quantum boundary, which is exactly
+the lookahead that makes the conservative node synchronization sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.net.frame import Frame, frame_bits
+
+__all__ = ["Fieldbus", "TransmitRequest", "Delivery"]
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class TransmitRequest:
+    """A frame queued for transmission at the sender's local time."""
+
+    time: int
+    frame: Frame
+    sequence: int
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A frame fully received by every node at ``time``."""
+
+    time: int
+    frame: Frame
+
+
+class Fieldbus:
+    """A single shared bus with priority (lowest-id-first) arbitration."""
+
+    def __init__(self, bit_rate_bps: int = 1_000_000):
+        if bit_rate_bps <= 0:
+            raise ValueError("bit rate must be positive")
+        self.bit_rate_bps = bit_rate_bps
+        self._pending: List[TransmitRequest] = []
+        self._sequence = 0
+        #: Virtual time at which the bus next becomes idle.
+        self.busy_until = 0
+        # statistics
+        self.frames_delivered = 0
+        self.bits_carried = 0
+        self.total_arbitration_wait_ns = 0
+
+    def frame_time_ns(self, size_bytes: int = 8) -> int:
+        """Wire time of one frame with the given payload size."""
+        return frame_bits(size_bytes) * NS_PER_S // self.bit_rate_bps
+
+    @property
+    def min_frame_time_ns(self) -> int:
+        """Wire time of the smallest (0-byte) frame -- the cluster's
+        synchronization lookahead."""
+        return self.frame_time_ns(0)
+
+    def queue(self, time: int, frame: Frame) -> None:
+        """Register a transmit request stamped with the sender's time."""
+        self._sequence += 1
+        self._pending.append(TransmitRequest(time, frame, self._sequence))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def process(self, horizon: int) -> List[Delivery]:
+        """Arbitrate and transmit everything that *starts* by ``horizon``.
+
+        Returns deliveries in completion order.  Requests that cannot
+        start by the horizon stay queued for the next round.
+        """
+        deliveries: List[Delivery] = []
+        while self._pending:
+            # Earliest instant at which some request is available.
+            earliest = min(r.time for r in self._pending)
+            start = max(earliest, self.busy_until)
+            if start > horizon:
+                break
+            # CAN arbitration: among requests present at `start`, the
+            # lowest identifier wins (sequence breaks ties determinist-
+            # ically for same-id frames from different nodes).
+            contenders = [r for r in self._pending if r.time <= start]
+            winner = min(contenders, key=lambda r: (r.frame.can_id, r.sequence))
+            self._pending.remove(winner)
+            duration = self.frame_time_ns(winner.frame.size)
+            completion = start + duration
+            self.busy_until = completion
+            self.frames_delivered += 1
+            self.bits_carried += winner.frame.bits
+            self.total_arbitration_wait_ns += start - winner.time
+            deliveries.append(Delivery(completion, winner.frame))
+        return deliveries
+
+    def utilization(self, elapsed_ns: int) -> float:
+        """Fraction of ``elapsed_ns`` the bus spent carrying bits."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.bits_carried * NS_PER_S / self.bit_rate_bps / elapsed_ns)

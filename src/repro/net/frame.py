@@ -1,0 +1,62 @@
+"""Fieldbus frames.
+
+The paper's distributed targets exchange "short, simple messages over
+fieldbuses" (Section 3) -- the protocol family the authors' companion
+work [37, 40] targets is CAN-like: small frames carrying an
+arbitration identifier whose numeric value doubles as the bus
+priority (lower id wins arbitration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Frame", "frame_bits"]
+
+#: Protocol overhead per frame in bits (CAN 2.0A: SOF, arbitration,
+#: control, CRC, ACK, EOF, interframe space -- 47 bits + stuffing;
+#: we use the nominal 47).
+FRAME_OVERHEAD_BITS = 47
+
+#: Largest payload a fieldbus frame carries (CAN: 8 bytes).
+MAX_PAYLOAD_BYTES = 8
+
+
+def frame_bits(payload_bytes: int) -> int:
+    """Wire size of a frame with ``payload_bytes`` of data."""
+    if not 0 <= payload_bytes <= MAX_PAYLOAD_BYTES:
+        raise ValueError(
+            f"fieldbus payload must be 0..{MAX_PAYLOAD_BYTES} bytes"
+        )
+    return FRAME_OVERHEAD_BITS + 8 * payload_bytes
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One fieldbus frame.
+
+    Attributes:
+        can_id: Arbitration identifier; lower value = higher priority.
+        payload: Application data (opaque to the bus).
+        size: Payload size in bytes (0..8).
+        sender: Name of the sending node (filled by the interface).
+    """
+
+    can_id: int
+    payload: Any = None
+    size: int = 8
+    sender: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.can_id < 0:
+            raise ValueError("can_id must be non-negative")
+        if not 0 <= self.size <= MAX_PAYLOAD_BYTES:
+            raise ValueError(
+                f"payload size must be 0..{MAX_PAYLOAD_BYTES} bytes"
+            )
+
+    @property
+    def bits(self) -> int:
+        """Wire size in bits."""
+        return frame_bits(self.size)

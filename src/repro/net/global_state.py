@@ -1,0 +1,172 @@
+"""Global state messages: state channels replicated over the fieldbus.
+
+The state-message idea (single writer, readers always see the latest
+value, nobody blocks) extends naturally to the paper's distributed
+targets: the writing node broadcasts each update as a high-priority
+fieldbus frame, and every other node's network driver deposits it into
+a *local replica* of the channel.  Readers on any node then use the
+ordinary lock-free local read path -- remote communication costs are
+paid only by the writer and the per-node driver, never by readers.
+
+:class:`GlobalStateChannel` wires this pattern up on a
+:class:`~repro.net.cluster.Cluster`:
+
+* on the writer node it creates the authoritative local channel and
+  provides :meth:`publish_op` -- an op that writes locally *and*
+  queues the broadcast frame;
+* on every other node it creates a replica channel plus a small
+  user-level driver thread (the Figure 1 pattern) that drains the
+  node's rx queue into the replica.
+
+Replicas lag the authoritative copy by the bus latency (one frame
+time plus arbitration), which is exactly the semantics periodic
+sensor data wants: the freshest value that has physically arrived.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.ipc.state_message import StateChannel
+from repro.kernel.program import Call, Op, Program
+from repro.net.frame import Frame
+from repro.timeunits import ms
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.net.cluster import Cluster
+    from repro.net.node import NetInterface
+
+__all__ = ["GlobalStateChannel"]
+
+
+class GlobalStateChannel:
+    """A state-message channel replicated across cluster nodes.
+
+    ``readers`` restricts the replica set: only the named nodes get a
+    local replica and driver (default: every node).  Nodes whose
+    interface has an acceptance filter get the channel's identifier
+    added to it automatically.
+    """
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        name: str,
+        can_id: int,
+        writer_node: str,
+        slots: int = 4,
+        frame_size: int = 8,
+        driver_period: Optional[int] = None,
+        driver_queue: Optional[int] = None,
+        readers: Optional[list] = None,
+    ):
+        if writer_node not in cluster.nodes:
+            raise ValueError(f"unknown writer node {writer_node}")
+        if readers is not None:
+            unknown = set(readers) - set(cluster.nodes)
+            if unknown:
+                raise ValueError(f"unknown reader nodes {sorted(unknown)}")
+        self.cluster = cluster
+        self.name = name
+        self.can_id = can_id
+        self.writer_node = writer_node
+        self.frame_size = frame_size
+        #: Local channel per node (the writer's is authoritative).
+        self.replicas: Dict[str, StateChannel] = {}
+        period = driver_period if driver_period is not None else ms(10)
+
+        for node_name, kernel in cluster.nodes.items():
+            if (
+                readers is not None
+                and node_name != writer_node
+                and node_name not in readers
+            ):
+                continue
+            channel = kernel.create_channel(f"gs:{name}@{node_name}", slots=slots)
+            self.replicas[node_name] = channel
+            if node_name == writer_node:
+                continue
+            interface = cluster.interfaces[node_name]
+            if interface.accept is not None:
+                interface.accept.add(can_id)
+            self._spawn_replica_driver(
+                kernel, interface, channel, period, driver_queue
+            )
+
+    # ------------------------------------------------------------------
+    # writer side
+    # ------------------------------------------------------------------
+    def publish_op(self, value_fn=None, value=None) -> Op:
+        """An op for the writer's program: update the local channel and
+        broadcast the new value.
+
+        Pass either a constant ``value`` or a ``value_fn(kernel,
+        thread)`` producing the value at publish time.
+        """
+        interface = self.cluster.interfaces[self.writer_node]
+        channel = self.replicas[self.writer_node]
+
+        def call(kernel: "Kernel", thread) -> None:
+            payload = value_fn(kernel, thread) if value_fn is not None else value
+            kernel.charge(kernel.model.state_msg_write_ns, "state-msg")
+            channel.write(payload, writer_name=thread.name)
+            interface.transmit(
+                Frame(can_id=self.can_id, payload=payload, size=self.frame_size)
+            )
+
+        return Call(call, label=f"gs-publish:{self.name}")
+
+    # ------------------------------------------------------------------
+    # reader side
+    # ------------------------------------------------------------------
+    def local_channel(self, node: str) -> StateChannel:
+        """The replica on ``node`` (read it with StateRead ops)."""
+        return self.replicas[node]
+
+    def channel_name(self, node: str) -> str:
+        """The kernel-registered name of ``node``'s replica."""
+        return self.replicas[node].name
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _spawn_replica_driver(
+        self,
+        kernel: "Kernel",
+        interface: "NetInterface",
+        channel: StateChannel,
+        period: int,
+        driver_queue: Optional[int],
+    ) -> None:
+        can_id = self.can_id
+        channel_gs_name = self.name
+
+        def drain(kern: "Kernel", thread) -> None:
+            # Drain everything; frames for other channels go back to
+            # the interface queue untouched.
+            passthrough = []
+            while True:
+                frame = interface.receive()
+                if frame is None:
+                    break
+                if frame.can_id == can_id:
+                    kern.charge(kern.model.state_msg_write_ns, "state-msg")
+                    channel.write(frame.payload, writer_name=thread.name)
+                else:
+                    passthrough.append(frame)
+            interface.rx_queue.extend(passthrough)
+
+        # The driver *polls* rather than blocking on the rx event:
+        # "for periodic events, polling is usually used to interact
+        # with the environment" (Section 6.3.2) -- state updates are
+        # periodic, and a blocking driver would trip its own deadline
+        # whenever the writer publishes slower than the driver runs.
+        # Replica staleness is bounded by bus latency + driver period.
+        kernel.create_thread(
+            f"gs-driver:{channel_gs_name}",
+            Program([Call(drain)]),
+            period=period,
+            deadline=period,
+            csd_queue=driver_queue,
+        )

@@ -1,0 +1,127 @@
+"""Per-node network interface: the fieldbus "device" of Figure 1.
+
+EMERALDS has no in-kernel protocol stack: "nodes in embedded
+applications typically exchange short, simple messages over
+fieldbuses.  Threads can do so by talking directly to network device
+drivers" (Section 3).  The interface mirrors that split:
+
+* :meth:`NetInterface.transmit` is the device-driver send path a
+  thread calls directly (via a ``Call`` op or the
+  :func:`net_send` helper), charged like a device access;
+* received frames raise the node's network interrupt; a first-level
+  handler queues the frame and signals the per-node rx event, on
+  which a *user-level driver thread* waits (the Figure 1 pattern).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Iterable, Optional, Set
+
+from repro.kernel.program import Call, Op
+from repro.net.frame import Frame
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+    from repro.net.fieldbus import Fieldbus
+
+__all__ = ["NetInterface", "net_send"]
+
+#: Default interrupt vector for network devices.
+NET_VECTOR = 15
+
+#: Device-access cost of handing a frame to the bus controller (ns).
+TX_ACCESS_NS = 3_000
+
+
+class NetInterface:
+    """A node's attachment to the fieldbus."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: "Kernel",
+        bus: "Fieldbus",
+        accept: Optional[Iterable[int]] = None,
+        vector: int = NET_VECTOR,
+    ):
+        self.name = name
+        self.kernel = kernel
+        self.bus = bus
+        #: Acceptance filter: deliver only these identifiers
+        #: (``None`` = promiscuous).
+        self.accept: Optional[Set[int]] = set(accept) if accept is not None else None
+        self.vector = vector
+        self.rx_queue: Deque[Frame] = deque()
+        self.rx_event_name = f"net-rx:{name}"
+        kernel.create_event(self.rx_event_name)
+        kernel.interrupts.register(vector, self._isr)
+        self._incoming: Deque[Frame] = deque()
+        # statistics
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_filtered = 0
+
+    # ------------------------------------------------------------------
+    # transmit path (thread -> driver -> bus)
+    # ------------------------------------------------------------------
+    def transmit(self, frame: Frame) -> None:
+        """Queue a frame for bus arbitration (device-driver send)."""
+        stamped = Frame(
+            can_id=frame.can_id,
+            payload=frame.payload,
+            size=frame.size,
+            sender=self.name,
+        )
+        self.kernel.charge(TX_ACCESS_NS, "net")
+        self.bus.queue(self.kernel.now, stamped)
+        self.frames_sent += 1
+
+    # ------------------------------------------------------------------
+    # receive path (bus -> IRQ -> driver thread)
+    # ------------------------------------------------------------------
+    def deliver(self, frame: Frame) -> None:
+        """Called by the cluster when a frame completes on the wire.
+
+        Applies the acceptance filter, then raises the rx interrupt on
+        this node (scheduled at the current bus delivery time, which is
+        in this node's future by construction).
+        """
+        if frame.sender == self.name:
+            return  # a node does not receive its own transmission
+        if self.accept is not None and frame.can_id not in self.accept:
+            self.frames_filtered += 1
+            return
+        self._incoming.append(frame)
+        self.kernel.interrupts.raise_interrupt(self.vector)
+
+    def _isr(self, kernel: "Kernel", vector: int) -> None:
+        """First-level rx handler: move the frame to the driver queue
+        and wake the driver thread."""
+        if self._incoming:
+            self.rx_queue.append(self._incoming.popleft())
+            self.frames_received += 1
+        kernel.events_by_name[self.rx_event_name].signal(kernel)
+
+    def receive(self) -> Optional[Frame]:
+        """Pop the next received frame (driver-thread side)."""
+        if self.rx_queue:
+            return self.rx_queue.popleft()
+        return None
+
+
+def net_send(
+    interface: NetInterface, can_id: int, size: int = 8, payload=None
+) -> Op:
+    """A ``Call`` op that transmits a frame when executed.
+
+    Lets declarative thread programs send on the bus::
+
+        Program([Compute(us(100)), net_send(iface, can_id=0x10, size=4)])
+    """
+
+    def call(kernel, thread) -> None:
+        interface.transmit(Frame(can_id=can_id, payload=payload, size=size))
+
+    return Call(call, label=f"net-send:{can_id:#x}")

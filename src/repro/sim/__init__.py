@@ -1,0 +1,20 @@
+"""Simulation substrate: event engine, workloads, experiments, traces."""
+
+from repro.sim.breakdown import (
+    BreakdownResult,
+    FigureSeries,
+    best_csd_configuration,
+    breakdown_utilization,
+    figure_series,
+)
+from repro.sim.workload import generate_base_workloads, generate_workload
+
+__all__ = [
+    "BreakdownResult",
+    "FigureSeries",
+    "best_csd_configuration",
+    "breakdown_utilization",
+    "figure_series",
+    "generate_base_workloads",
+    "generate_workload",
+]

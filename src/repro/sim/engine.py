@@ -1,0 +1,108 @@
+"""Discrete-event engine: virtual clock and time-ordered event queue.
+
+This is the substitute for the paper's 25 MHz MC68040: a deterministic
+virtual timeline in integer nanoseconds.  The kernel advances the clock
+as it charges primitive costs (kernel code runs with interrupts
+effectively masked: events that come due while the kernel is charging
+time are delivered at the next dispatch point, just as a real kernel
+defers interrupts until it re-enables them).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+__all__ = ["VirtualClock", "EventQueue", "ScheduledEvent"]
+
+
+class VirtualClock:
+    """Monotonic virtual time in integer nanoseconds."""
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """Current virtual time (ns)."""
+        return self._now
+
+    def advance_to(self, time: int) -> None:
+        """Jump forward to an absolute time."""
+        if time < self._now:
+            raise ValueError(f"clock cannot go backwards ({time} < {self._now})")
+        self._now = time
+
+    def advance_by(self, delta: int) -> None:
+        """Move forward by a relative amount (used to charge costs)."""
+        if delta < 0:
+            raise ValueError("cannot charge negative time")
+        self._now += delta
+
+
+class ScheduledEvent:
+    """A pending event: fires ``action()`` at ``time``.
+
+    Events are ordered by ``(time, sequence)``; the sequence number
+    makes simultaneous events fire in scheduling order, keeping runs
+    deterministic.  ``cancel()`` marks the event dead in place.
+    """
+
+    __slots__ = ("time", "sequence", "action", "label", "cancelled")
+
+    def __init__(self, time: int, sequence: int, action: Callable[[], None], label: str):
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        return f"<ScheduledEvent {self.label} @{self.time}{state}>"
+
+
+class EventQueue:
+    """Priority queue of :class:`ScheduledEvent` ordered by time."""
+
+    def __init__(self):
+        self._heap: List[ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        self._trim()
+        return len(self._heap)
+
+    def schedule(
+        self, time: int, action: Callable[[], None], label: str = "event"
+    ) -> ScheduledEvent:
+        """Enqueue ``action`` to fire at absolute virtual time ``time``."""
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = ScheduledEvent(time, next(self._counter), action, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` when empty."""
+        self._trim()
+        return self._heap[0].time if self._heap else None
+
+    def pop_due(self, now: int) -> Optional[ScheduledEvent]:
+        """Pop the next live event with ``time <= now``, if any."""
+        self._trim()
+        if self._heap and self._heap[0].time <= now:
+            return heapq.heappop(self._heap)
+        return None
+
+    def _trim(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

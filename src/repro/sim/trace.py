@@ -1,0 +1,233 @@
+"""Execution traces: Gantt segments, job records, kernel-time accounting.
+
+The trace is how experiments observe the kernel: every context switch,
+deadline miss, and nanosecond of kernel overhead (by category) is
+recorded here.  :meth:`Trace.gantt_ascii` renders schedules like the
+paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.timeunits import to_ms, to_us
+
+__all__ = ["Trace", "Segment", "JobRecord"]
+
+#: Pseudo-thread names used in execution segments.
+IDLE = "<idle>"
+KERNEL = "<kernel>"
+
+
+@dataclass
+class Segment:
+    """A half-open interval ``[start, end)`` of CPU time.
+
+    ``who`` is a thread name, or :data:`IDLE`/:data:`KERNEL`.
+    """
+
+    start: int
+    end: int
+    who: str
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class JobRecord:
+    """One job (periodic activation) of a thread."""
+
+    thread: str
+    release: int
+    deadline: Optional[int]
+    completion: Optional[int] = None
+
+    @property
+    def missed(self) -> bool:
+        """True when the job finished after its deadline."""
+        if self.completion is None or self.deadline is None:
+            return False
+        return self.completion > self.deadline
+
+    @property
+    def response_time(self) -> Optional[int]:
+        if self.completion is None:
+            return None
+        return self.completion - self.release
+
+
+class Trace:
+    """Accumulates everything observable about one kernel run."""
+
+    def __init__(self, record_segments: bool = True):
+        self.record_segments = record_segments
+        self.segments: List[Segment] = []
+        self.jobs: List[JobRecord] = []
+        self.events: List[Tuple[int, str, str]] = []
+        self.context_switches = 0
+        self.kernel_time: Dict[str, int] = defaultdict(int)
+        self.idle_time = 0
+        self._open_jobs: Dict[Tuple[str, int], JobRecord] = {}
+
+    # ------------------------------------------------------------------
+    # recording (called by the kernel)
+    # ------------------------------------------------------------------
+    def add_segment(self, start: int, end: int, who: str) -> None:
+        """Record CPU occupancy; merges adjacent same-owner segments."""
+        if end <= start:
+            return
+        if who == IDLE:
+            self.idle_time += end - start
+        if not self.record_segments:
+            return
+        if self.segments and self.segments[-1].who == who and self.segments[-1].end == start:
+            self.segments[-1].end = end
+        else:
+            self.segments.append(Segment(start, end, who))
+
+    def charge_kernel(self, start: int, end: int, category: str) -> None:
+        """Record kernel overhead time under a named category."""
+        if end <= start:
+            return
+        self.kernel_time[category] += end - start
+        self.add_segment(start, end, KERNEL)
+
+    def note(self, time: int, kind: str, detail: str) -> None:
+        """Record a point event (release, miss, switch, fault...)."""
+        self.events.append((time, kind, detail))
+
+    def job_released(self, thread: str, release: int, deadline: int, job_no: int) -> JobRecord:
+        """Open a job record at its (nominal) release."""
+        record = JobRecord(thread, release, deadline)
+        self.jobs.append(record)
+        self._open_jobs[(thread, job_no)] = record
+        return record
+
+    def job_completed(self, thread: str, job_no: int, completion: int) -> Optional[JobRecord]:
+        """Close a job record; notes a deadline miss when late."""
+        record = self._open_jobs.pop((thread, job_no), None)
+        if record is not None:
+            record.completion = completion
+            if record.missed:
+                self.note(completion, "deadline-miss", thread)
+        return record
+
+    def context_switch(self, time: int, old: Optional[str], new: Optional[str]) -> None:
+        """Count and note one context switch."""
+        self.context_switches += 1
+        self.note(time, "context-switch", f"{old or IDLE} -> {new or IDLE}")
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def kernel_time_total(self) -> int:
+        """All kernel overhead charged, in nanoseconds."""
+        return sum(self.kernel_time.values())
+
+    def misses(self) -> List[JobRecord]:
+        """Jobs that completed after their deadline."""
+        return [j for j in self.jobs if j.missed]
+
+    def unfinished(self, now: int) -> List[JobRecord]:
+        """Jobs released but not completed whose deadline has passed."""
+        return [
+            j
+            for j in self.jobs
+            if j.completion is None and j.deadline is not None and j.deadline < now
+        ]
+
+    def deadline_violations(self, now: int) -> List[JobRecord]:
+        """Late completions plus overdue unfinished jobs."""
+        return self.misses() + self.unfinished(now)
+
+    def jobs_of(self, thread: str) -> List[JobRecord]:
+        """All job records of one thread, in release order."""
+        return [j for j in self.jobs if j.thread == thread]
+
+    def max_response_ns(self, thread: str) -> Optional[int]:
+        """Worst observed response time of completed jobs (ns)."""
+        responses = [
+            j.response_time for j in self.jobs_of(thread) if j.response_time is not None
+        ]
+        return max(responses) if responses else None
+
+    def cpu_share(self, who: str, start: int, end: int) -> float:
+        """Fraction of ``[start, end)`` occupied by ``who``."""
+        if end <= start:
+            return 0.0
+        busy = 0
+        for seg in self.segments:
+            lo = max(seg.start, start)
+            hi = min(seg.end, end)
+            if hi > lo and seg.who == who:
+                busy += hi - lo
+        return busy / (end - start)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def gantt_ascii(
+        self,
+        start: int,
+        end: int,
+        columns: int = 72,
+        threads: Optional[List[str]] = None,
+    ) -> str:
+        """Render the schedule as an ASCII Gantt chart (cf. Figure 2).
+
+        One row per thread; ``#`` marks execution, ``.`` marks other
+        time, ``!`` marks a deadline miss within that column.
+        """
+        if end <= start:
+            raise ValueError("end must be after start")
+        if threads is None:
+            seen: List[str] = []
+            for seg in self.segments:
+                if seg.who not in (IDLE, KERNEL) and seg.who not in seen:
+                    seen.append(seg.who)
+            threads = seen
+        width = (end - start) / columns
+        lines = [
+            f"gantt [{to_ms(start):g}ms .. {to_ms(end):g}ms], "
+            f"one column = {to_ms(round(width)):g}ms"
+        ]
+        misses = {
+            (j.thread, j.completion)
+            for j in self.misses()
+            if j.completion is not None
+        }
+        label_width = max((len(t) for t in threads), default=4)
+        for thread in threads:
+            cells = []
+            for col in range(columns):
+                lo = start + round(col * width)
+                hi = start + round((col + 1) * width)
+                busy = any(
+                    seg.who == thread and seg.start < hi and seg.end > lo
+                    for seg in self.segments
+                )
+                miss_here = any(
+                    t == thread and c is not None and lo <= c < hi for t, c in misses
+                )
+                cells.append("!" if miss_here else "#" if busy else ".")
+            lines.append(f"{thread.rjust(label_width)} |{''.join(cells)}|")
+        return "\n".join(lines)
+
+    def summary(self, now: int) -> str:
+        """Human-readable run summary."""
+        misses = self.deadline_violations(now)
+        lines = [
+            f"jobs: {len(self.jobs)}  completed: "
+            f"{sum(1 for j in self.jobs if j.completion is not None)}  "
+            f"deadline violations: {len(misses)}",
+            f"context switches: {self.context_switches}",
+            f"kernel time: {to_us(self.kernel_time_total):.1f} us "
+            f"({', '.join(f'{k}={to_us(v):.1f}us' for k, v in sorted(self.kernel_time.items()))})",
+            f"idle time: {to_us(self.idle_time):.1f} us",
+        ]
+        return "\n".join(lines)

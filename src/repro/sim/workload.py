@@ -1,0 +1,90 @@
+"""Random workload generation for the Section 5.7 experiments.
+
+"To mimic the mix of short and long period tasks expected in real-time
+embedded systems, we generate the base task workloads by randomly
+selecting task periods such that each period has an equal probability
+of being single-digit (5-9 ms), double-digit (10-99 ms), or three-digit
+(100-999 ms)."
+
+Execution times are drawn as random fractions of the period; their
+absolute scale is irrelevant because the breakdown-utilization
+procedure rescales them anyway (Section 5.7).  Every quantity is
+rounded to whole microseconds so virtual time stays integral.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.task import TaskSpec, Workload
+from repro.timeunits import ms, us
+
+__all__ = ["generate_workload", "generate_base_workloads", "PERIOD_CLASSES_MS"]
+
+#: The three period classes of Section 5.7, inclusive millisecond ranges.
+PERIOD_CLASSES_MS = ((5, 9), (10, 99), (100, 999))
+
+
+def generate_workload(
+    n: int,
+    rng: Optional[random.Random] = None,
+    seed: Optional[int] = None,
+    utilization: float = 0.5,
+    blocking_calls: bool = True,
+) -> Workload:
+    """Generate one random workload of ``n`` periodic tasks.
+
+    Args:
+        n: Number of tasks.
+        rng: Random source; alternatively pass ``seed``.
+        seed: Convenience seed when ``rng`` is not given.
+        utilization: Target raw utilization; individual task
+            utilizations are drawn uniformly and normalized to this.
+            The breakdown search rescales execution times, so this only
+            sets the starting point.
+        blocking_calls: When True, half of the tasks are marked as
+            making one extra blocking call per period, matching the
+            Section 5.1 assumption behind the 1.5 factor.
+
+    Returns:
+        A :class:`~repro.core.task.Workload` in RM order.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if rng is None:
+        rng = random.Random(seed)
+    periods_ns: List[int] = []
+    for _ in range(n):
+        lo, hi = PERIOD_CLASSES_MS[rng.randrange(len(PERIOD_CLASSES_MS))]
+        periods_ns.append(ms(rng.randint(lo, hi)))
+
+    shares = [rng.uniform(0.1, 1.0) for _ in range(n)]
+    total_share = sum(shares)
+    tasks = []
+    for i, (period, share) in enumerate(zip(periods_ns, shares)):
+        task_utilization = utilization * share / total_share
+        wcet = us(max(1, round(task_utilization * period / 1_000)))
+        tasks.append(
+            TaskSpec(
+                name=f"t{i}",
+                period=period,
+                wcet=min(wcet, period),
+                blocking_calls=1 if blocking_calls and i % 2 == 0 else 0,
+            )
+        )
+    return Workload(tasks)
+
+
+def generate_base_workloads(
+    n: int, count: int, seed: int = 0, utilization: float = 0.5
+) -> List[Workload]:
+    """Generate ``count`` independent base workloads of ``n`` tasks.
+
+    Each workload uses a sub-seed derived from ``seed`` so individual
+    workloads are reproducible regardless of how many are requested.
+    """
+    return [
+        generate_workload(n, seed=seed * 1_000_003 + k, utilization=utilization)
+        for k in range(count)
+    ]

@@ -1,0 +1,16 @@
+"""Synchronization: semaphores (standard and EMERALDS), condvars, parser."""
+
+from repro.sync.condvar import CondVarError, ConditionVariable
+from repro.sync.emeralds_sem import EmeraldsSemaphore
+from repro.sync.parser import ParsedProgram, insert_hints
+from repro.sync.semaphore import SemaphoreError, StandardSemaphore
+
+__all__ = [
+    "CondVarError",
+    "ConditionVariable",
+    "EmeraldsSemaphore",
+    "ParsedProgram",
+    "SemaphoreError",
+    "StandardSemaphore",
+    "insert_hints",
+]

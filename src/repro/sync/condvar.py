@@ -1,0 +1,88 @@
+"""Condition variables with priority-ordered wake-up (Section 3).
+
+EMERALDS offers condition variables alongside semaphores, with
+priority inheritance supplied by the underlying mutex.  ``wait``
+atomically releases the mutex and blocks; ``signal`` moves the
+highest-priority waiter to re-acquire the mutex (it wakes already
+holding it, or queues on the mutex with priority inheritance if
+another thread grabbed it first); ``broadcast`` does the same for
+every waiter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["ConditionVariable", "CondVarError"]
+
+
+class CondVarError(Exception):
+    """Semantic misuse of a condition variable."""
+
+
+class ConditionVariable:
+    """A kernel condition variable bound to no particular mutex."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: Blocked waiters together with the mutex each must re-acquire.
+        self.waiters: List[tuple] = []
+        # statistics
+        self.waits = 0
+        self.signals = 0
+        self.broadcasts = 0
+
+    def wait(self, kernel: "Kernel", thread: "Thread", mutex_name: str) -> None:
+        """Release ``mutex_name`` and block until signalled."""
+        self.waits += 1
+        mutex = kernel.semaphores.get(mutex_name)
+        if mutex is None:
+            raise CondVarError(f"cv {self.name}: unknown mutex {mutex_name}")
+        if mutex.holder is not thread:
+            raise CondVarError(
+                f"cv {self.name}: {thread.name} waits without holding {mutex_name}"
+            )
+        self.waiters.append((thread, mutex_name))
+        # Release wakes the next mutex waiter (if any) and hands off.
+        mutex.release(kernel, thread)
+        kernel.block_thread(thread, f"cv:{self.name}")
+
+    def signal(self, kernel: "Kernel", thread: "Thread") -> None:
+        """Wake the highest-priority waiter."""
+        self.signals += 1
+        if not self.waiters:
+            return
+        best = min(self.waiters, key=lambda w: kernel.priority_rank(w[0]))
+        self.waiters.remove(best)
+        self._wake(kernel, *best)
+
+    def broadcast(self, kernel: "Kernel", thread: "Thread") -> None:
+        """Wake every waiter (in priority order)."""
+        self.broadcasts += 1
+        waiting = sorted(self.waiters, key=lambda w: kernel.priority_rank(w[0]))
+        self.waiters.clear()
+        for waiter, mutex_name in waiting:
+            self._wake(kernel, waiter, mutex_name)
+
+    def _wake(self, kernel: "Kernel", waiter: "Thread", mutex_name: str) -> None:
+        """Transition a waiter from the CV to mutex re-acquisition."""
+        mutex = kernel.semaphores[mutex_name]
+        if mutex.available > 0:
+            mutex._grant(waiter)
+            kernel.unblock_thread(waiter)
+        else:
+            # Stay blocked, but now on the mutex, with PI to its holder.
+            if mutex.holder is not None and kernel.priority_rank(
+                waiter
+            ) < kernel.priority_rank(mutex.holder):
+                cost = kernel.scheduler.raise_priority(mutex.holder, waiter)
+                kernel.charge(cost, "pi")
+            waiter.blocked_on = f"sem:{mutex_name}"
+            mutex.waiters.append(waiter)
+
+    def __repr__(self) -> str:
+        return f"<ConditionVariable {self.name}, {len(self.waiters)} waiting>"

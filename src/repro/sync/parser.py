@@ -1,0 +1,122 @@
+"""The code parser of Section 6.2.1.
+
+"In EMERALDS, all blocking calls take an extra parameter which is the
+identifier of the semaphore to be locked by the upcoming
+``acquire_sem()`` call.  This parameter is set to -1 if the next
+blocking call is not ``acquire_sem()``.  Semaphore identifiers are
+statically defined (at compile time) ... so it is fairly straightforward
+to write a parser which examines the application code and inserts the
+correct semaphore identifier into the argument list of blocking calls
+just preceding ``acquire_sem()`` calls.  Hence, the application
+programmer does not have to make any manual modifications to the code."
+
+Our thread bodies are declarative op lists, so the parser is a single
+backward pass: for every hint-capable blocking op (``Wait``, ``Recv``,
+``Sleep``), find the next blocking op; if it is an ``Acquire``, record
+its semaphore as the hint.  The implicit period-boundary block is a
+blocking call too: if the first blocking op of the body is an
+``Acquire``, the *period hint* names that semaphore (returned
+separately for the kernel to attach to the thread).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Set, Tuple
+
+from repro.kernel.program import Acquire, CvWait, Op, Program, Recv, Release, Send, Sleep, Wait
+
+__all__ = ["insert_hints", "held_across_blocking", "ParsedProgram"]
+
+#: Op types that accept the parser-inserted hint parameter.
+_HINTABLE = (Wait, Recv, Sleep)
+
+
+class ParsedProgram:
+    """Result of the parser pass.
+
+    Attributes:
+        program: The rewritten program with hints inserted.
+        period_hint: Semaphore to be locked first in the body when no
+            other blocking call precedes it (the hint for the implicit
+            period-boundary block), or ``None``.
+        hints_inserted: Number of blocking calls annotated.
+    """
+
+    def __init__(self, program: Program, period_hint: Optional[str], hints: int):
+        self.program = program
+        self.period_hint = period_hint
+        self.hints_inserted = hints
+
+
+def _next_blocking(ops: Tuple[Op, ...], start: int) -> Optional[Op]:
+    """The first blocking op at or after ``start``, if any."""
+    for op in ops[start:]:
+        if op.blocking:
+            return op
+    return None
+
+
+def insert_hints(program: Program) -> ParsedProgram:
+    """Annotate blocking calls with upcoming-acquire hints.
+
+    Mirrors the paper's compile-time pass exactly: the rewrite is
+    purely static, performed before the thread ever runs, and leaves
+    programs without acquire calls untouched.
+    """
+    ops: List[Op] = list(program.ops)
+    hints = 0
+    for index, op in enumerate(ops):
+        if not isinstance(op, _HINTABLE):
+            continue
+        upcoming = _next_blocking(tuple(ops), index + 1)
+        hint = upcoming.sem if isinstance(upcoming, Acquire) else None
+        if op.hint != hint:
+            ops[index] = replace(op, hint=hint)
+        if hint is not None:
+            hints += 1
+
+    first_blocking = _next_blocking(tuple(ops), 0)
+    period_hint = (
+        first_blocking.sem if isinstance(first_blocking, Acquire) else None
+    )
+    return ParsedProgram(Program(ops), period_hint, hints)
+
+
+def held_across_blocking(program: Program) -> Set[str]:
+    """Semaphores this program may hold across a blocking call.
+
+    The pre-lock registry queue of Section 6.3.1 only matters when some
+    thread can *block while holding* the semaphore (the Figure 9/10
+    situations); for every other semaphore the registry machinery is
+    pure overhead.  Like the hint insertion, this is static knowledge
+    the compile-time parser has, so the kernel enables the registry
+    only for semaphores in somebody's held-across-blocking set.
+
+    The analysis tracks the held set through the op list.  Because the
+    body repeats every period, it is run twice so locks carried over
+    the period boundary (unbalanced acquire/release) are caught; a body
+    ending with locks held also trips the implicit period-boundary
+    block.
+    """
+    flagged: Set[str] = set()
+    held: Set[str] = set()
+    for _ in range(2):
+        for op in program.ops:
+            if isinstance(op, Acquire):
+                # A nested acquire may block while the outer locks are
+                # held.
+                flagged.update(held)
+                held.add(op.sem)
+            elif isinstance(op, Release):
+                held.discard(op.sem)
+            elif isinstance(op, CvWait):
+                # cv wait releases its mutex, but any *other* held
+                # semaphore is held across the block.
+                flagged.update(held - {op.mutex})
+            elif isinstance(op, (Wait, Recv, Sleep, Send)):
+                flagged.update(held)
+        if held:
+            # Locks held across the period boundary block.
+            flagged.update(held)
+    return flagged

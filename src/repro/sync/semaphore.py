@@ -1,0 +1,188 @@
+"""Standard semaphores with priority inheritance (Section 6.1).
+
+This is the baseline the paper improves upon::
+
+    if (sem locked) {
+        do priority inheritance;
+        add caller thread to wait queue;
+        block;                      /* wait for sem to be released */
+    }
+    lock sem;
+
+Priority inheritance uses the standard queue manipulation: the holder
+is removed from its fixed-priority queue and reinserted at the donor's
+priority (O(n) per step), or -- for dynamic-priority tasks -- its
+deadline field is overwritten (O(1), the EDF queue is unsorted).
+Inheritance is transitive: if the holder is itself blocked on another
+semaphore, the donation is propagated down the chain.
+
+The contended acquire/release pair costs *two* context switches
+(Figure 7): one into the holder when the caller blocks, one back when
+the lock is released.  Those switches are charged by the kernel's
+dispatcher; this module charges the fixed semaphore-path cost and the
+PI queue operations.
+
+Semaphores are binary mutexes by default (the paper's primary use:
+object method synchronization under OO design); a ``capacity`` above 1
+gives counting semantics, for which holder tracking and PI are
+disabled (no single holder exists to inherit).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:
+    from repro.kernel.kernel import Kernel
+    from repro.kernel.thread import Thread
+
+__all__ = ["StandardSemaphore", "SemaphoreError", "recompute_inheritance"]
+
+#: Maximum priority-inheritance chain length walked on a block.
+_MAX_PI_CHAIN = 32
+
+
+class SemaphoreError(Exception):
+    """Semantic misuse: releasing an unheld semaphore, etc."""
+
+
+def recompute_inheritance(kernel: "Kernel", thread: "Thread") -> None:
+    """Re-derive ``thread``'s inherited priority from current donors.
+
+    Donors are the waiters of every semaphore the thread still holds.
+    Called after a release or whenever the donor set changes; restores
+    the base priority when no donors remain.
+    """
+    donors: List["Thread"] = []
+    for sem_name in thread.held_sems:
+        sem = kernel.semaphores.get(sem_name)
+        if sem is not None:
+            donors.extend(sem.donor_threads())
+    inherited = (
+        thread.effective_key != thread.base_key or thread.pi_deadline is not None
+    )
+    # Restore first: the comparison below must be against the thread's
+    # *base* priority, not a previously inherited one (otherwise a
+    # donation equal to the current inherited level is dropped).
+    if inherited:
+        cost = kernel.scheduler.restore_priority(thread)
+        kernel.charge(cost, "pi")
+    if donors:
+        best = min(donors, key=kernel.priority_rank)
+        if kernel.priority_rank(best) < kernel.priority_rank(thread):
+            cost = kernel.scheduler.raise_priority(thread, best)
+            kernel.charge(cost, "pi")
+
+
+class StandardSemaphore:
+    """Binary/counting semaphore, standard implementation."""
+
+    #: Scheme tag used in traces and stats.
+    scheme = "standard"
+
+    def __init__(self, name: str, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("semaphore capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self.available = capacity
+        #: Current holder (binary semaphores only).
+        self.holder: Optional["Thread"] = None
+        #: Threads blocked in ``acquire_sem`` (lock granted on release).
+        self.waiters: List["Thread"] = []
+        # statistics
+        self.acquires = 0
+        self.contended_acquires = 0
+        self.releases = 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def locked(self) -> bool:
+        return self.available == 0
+
+    def donor_threads(self) -> List["Thread"]:
+        """Threads whose priority the holder should inherit."""
+        return list(self.waiters)
+
+    # ------------------------------------------------------------------
+    # operations (invoked by the kernel's op interpreter)
+    # ------------------------------------------------------------------
+    def acquire(self, kernel: "Kernel", thread: "Thread") -> bool:
+        """Lock the semaphore for ``thread``.
+
+        Returns True when acquired immediately; False when the thread
+        was blocked (the lock is transferred at release time, so on
+        wake-up the thread already holds it).
+        """
+        self.acquires += 1
+        kernel.charge(kernel.model.sem_fixed_standard_ns // 2, "sem")
+        if self.available > 0:
+            self._grant(thread)
+            return True
+        self.contended_acquires += 1
+        self._inherit_chain(kernel, thread)
+        self.waiters.append(thread)
+        kernel.block_thread(thread, f"sem:{self.name}")
+        return False
+
+    def release(self, kernel: "Kernel", thread: "Thread") -> None:
+        """Unlock; transfers ownership to the best waiter, if any."""
+        self.releases += 1
+        kernel.charge(kernel.model.sem_fixed_standard_ns // 2, "sem")
+        if self.capacity == 1 and self.holder is not thread:
+            raise SemaphoreError(
+                f"{thread.name} released {self.name} held by "
+                f"{self.holder.name if self.holder else 'nobody'}"
+            )
+        if self.name in thread.held_sems:
+            thread.held_sems.remove(self.name)
+        self.holder = None
+        self.available += 1
+        # Undo (or re-derive) the releaser's inherited priority.
+        recompute_inheritance(kernel, thread)
+        self._hand_off(kernel)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _grant(self, thread: "Thread") -> None:
+        self.available -= 1
+        if self.capacity == 1:
+            self.holder = thread
+        thread.held_sems.append(self.name)
+
+    def _hand_off(self, kernel: "Kernel") -> None:
+        """Grant the lock to the highest-priority waiter and wake it."""
+        if not self.waiters or self.available == 0:
+            return
+        best = min(self.waiters, key=kernel.priority_rank)
+        self.waiters.remove(best)
+        self._grant(best)
+        kernel.unblock_thread(best)
+
+    def _inherit_chain(self, kernel: "Kernel", donor: "Thread") -> None:
+        """Propagate ``donor``'s priority down the holder chain."""
+        if self.capacity != 1:
+            return  # counting semaphores have no single holder
+        current: Optional[StandardSemaphore] = self
+        for _ in range(_MAX_PI_CHAIN):
+            holder = current.holder if current is not None else None
+            if holder is None:
+                return
+            if kernel.priority_rank(donor) < kernel.priority_rank(holder):
+                cost = kernel.scheduler.raise_priority(holder, donor)
+                kernel.charge(cost, "pi")
+            # Transitive step: is the holder itself blocked on a sem?
+            blocked = holder.blocked_on
+            if blocked is None or not blocked.startswith("sem:"):
+                return
+            next_sem = kernel.semaphores.get(blocked.split(":", 1)[1])
+            if next_sem is None or next_sem is current:
+                return
+            current = next_sem
+
+    def __repr__(self) -> str:
+        state = f"held by {self.holder.name}" if self.holder else "free"
+        return f"<{type(self).__name__} {self.name} {state}, {len(self.waiters)} waiting>"

@@ -1,0 +1,112 @@
+"""Tests for the offline CSD allocation search (Section 5.5.3)."""
+
+import pytest
+
+from repro.core.allocation import balanced_splits, candidate_splits, find_feasible_splits
+from repro.core.overhead import OverheadModel, ZERO_OVERHEAD
+from repro.core.schedulability import csd_schedulable
+from repro.core.task import TaskSpec, Workload, table2_workload
+from repro.sim.workload import generate_workload
+from repro.timeunits import ms
+
+
+def uniform_workload(n, period_ms=10):
+    return Workload(
+        TaskSpec(name=f"t{i}", period=ms(period_ms + i), wcet=ms(1)) for i in range(n)
+    )
+
+
+class TestBalancedSplits:
+    def test_zero_tasks(self):
+        assert balanced_splits(uniform_workload(4), 2, 0) == (0, 0)
+
+    def test_last_split_is_r(self):
+        w = uniform_workload(10)
+        for dp_bands in (1, 2, 3):
+            for r in (0, 3, 10):
+                splits = balanced_splits(w, dp_bands, r)
+                assert len(splits) == dp_bands
+                assert splits[-1] == r
+                assert all(splits[i] <= splits[i + 1] for i in range(len(splits) - 1))
+
+    def test_no_dp_bands(self):
+        assert balanced_splits(uniform_workload(4), 0, 0) == ()
+
+    def test_balances_inverse_period_rate(self):
+        """Short-period tasks weigh more, so DP1 gets fewer of them."""
+        tasks = [TaskSpec(name="fast", period=ms(1), wcet=ms(0.1))]
+        tasks += [
+            TaskSpec(name=f"slow{i}", period=ms(100 + i), wcet=ms(1)) for i in range(9)
+        ]
+        w = Workload(tasks)
+        q, r = balanced_splits(w, 2, 10)
+        # The single 1 ms task carries ~92% of the rate; it sits alone
+        # in DP1.
+        assert q == 1
+
+
+class TestCandidateSplits:
+    def test_csd2_enumeration_is_complete(self):
+        w = uniform_workload(6)
+        seen = {s for s in candidate_splits(w, 1)}
+        assert seen == {(r,) for r in range(7)}
+
+    def test_csd3_covers_all_pairs(self):
+        w = uniform_workload(5)
+        seen = set(candidate_splits(w, 2))
+        expected = {(q, r) for r in range(6) for q in range(r + 1)}
+        assert expected <= seen
+
+    def test_candidates_are_valid(self):
+        w = uniform_workload(8)
+        for splits in candidate_splits(w, 3):
+            assert len(splits) == 3
+            assert all(0 <= s <= 8 for s in splits)
+            assert all(splits[i] <= splits[i + 1] for i in range(2))
+
+
+class TestFindFeasibleSplits:
+    def test_finds_table2_allocation(self):
+        w = table2_workload()
+        splits = find_feasible_splits(w, 1, ZERO_OVERHEAD)
+        assert splits is not None
+        assert csd_schedulable(w, splits, ZERO_OVERHEAD)
+        # The troublesome task tau5 (index 4) must be in the DP queue.
+        assert splits[0] >= 5
+
+    def test_infeasible_returns_none(self):
+        w = Workload(
+            [
+                TaskSpec(name="a", period=ms(10), wcet=ms(8)),
+                TaskSpec(name="b", period=ms(10), wcet=ms(8)),
+            ]
+        )
+        assert find_feasible_splits(w, 1, ZERO_OVERHEAD) is None
+
+    def test_hint_is_tried_first(self):
+        w = table2_workload()
+        hint = (5,)
+        splits = find_feasible_splits(w, 1, ZERO_OVERHEAD, hint=hint)
+        assert splits == hint
+
+    def test_invalid_hint_ignored(self):
+        w = table2_workload()
+        splits = find_feasible_splits(w, 1, ZERO_OVERHEAD, hint=(99,))
+        assert splits is not None
+
+    def test_found_allocation_is_schedulable(self):
+        model = OverheadModel()
+        for seed in range(5):
+            w = generate_workload(12, seed=seed, utilization=0.6)
+            splits = find_feasible_splits(w, 2, model)
+            if splits is not None:
+                assert csd_schedulable(w, splits, model)
+
+    def test_respects_max_tests(self):
+        w = Workload(
+            [
+                TaskSpec(name="a", period=ms(10), wcet=ms(8)),
+                TaskSpec(name="b", period=ms(10), wcet=ms(8)),
+            ]
+        )
+        assert find_feasible_splits(w, 1, ZERO_OVERHEAD, max_tests=1) is None

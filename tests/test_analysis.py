@@ -1,0 +1,61 @@
+"""Tests for the table/series rendering helpers."""
+
+import pytest
+
+from repro.analysis import ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "22" in lines[-1]
+        # All data rows have equal width.
+        assert len(lines[-1]) == len(lines[-2])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_mixed_types_stringified(self):
+        out = format_table(["k"], [[3.14159], [None], [True]])
+        assert "3.14159" in out and "None" in out and "True" in out
+
+
+class TestAsciiSeries:
+    def test_contains_table_and_plot(self):
+        out = ascii_series(
+            [1, 2, 3],
+            {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            title="demo",
+            x_label="n",
+        )
+        assert "demo" in out
+        assert "o=up" in out and "x=down" in out
+        assert "|" in out
+
+    def test_single_series(self):
+        out = ascii_series([1, 2], {"only": [5.0, 6.0]})
+        assert "o=only" in out
+
+    def test_flat_series_does_not_crash(self):
+        out = ascii_series([1, 2, 3], {"flat": [4.0, 4.0, 4.0]})
+        assert "flat" in out
+
+    def test_empty_series(self):
+        out = ascii_series([], {"s": []})
+        assert "s" in out
+
+    def test_values_appear_in_rows(self):
+        out = ascii_series([10, 20], {"a": [42.5, 99.9]})
+        assert "42.5" in out
+        assert "99.9" in out
+
+    def test_overlap_marker(self):
+        out = ascii_series([1], {"a": [1.0], "b": [1.0]})
+        assert "*" in out

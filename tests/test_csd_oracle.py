@@ -1,0 +1,99 @@
+"""Property test: the CSD scheduler against a naive oracle.
+
+Hypothesis drives a random block/unblock sequence over a CSD-3
+scheduler and re-derives every selection decision from first
+principles: strict queue priority (DP1 > DP2 > FP), EDF inside DP
+queues (earliest effective deadline), fixed priority inside the FP
+queue.  Any divergence is a scheduler bug.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.csd import CSDScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.core.queues import Schedulable
+
+
+def oracle_select(tasks):
+    """First-principles CSD selection over ``tasks`` (with .csd_queue)."""
+    best_queue = None
+    for t in tasks:
+        if not t.ready:
+            continue
+        if best_queue is None or t.csd_queue < best_queue:
+            best_queue = t.csd_queue
+    if best_queue is None:
+        return None
+    contenders = [t for t in tasks if t.ready and t.csd_queue == best_queue]
+    if best_queue == 2:  # the FP queue
+        return min(contenders, key=lambda t: (t.effective_key, t.name))
+    return min(
+        contenders,
+        key=lambda t: (t.effective_deadline, t.effective_key, t.name),
+    )
+
+
+@st.composite
+def csd_population(draw):
+    n = draw(st.integers(3, 10))
+    tasks = []
+    for i in range(n):
+        t = Schedulable(f"t{i}", (draw(st.integers(0, 50)), f"t{i}"))
+        t.csd_queue = draw(st.integers(0, 2))
+        t.ready = draw(st.booleans())
+        t.abs_deadline = draw(st.integers(1, 10_000))
+        tasks.append(t)
+    ops = draw(
+        st.lists(st.integers(0, n - 1), max_size=40)
+    )
+    return tasks, ops
+
+
+@settings(max_examples=300, deadline=None)
+@given(csd_population())
+def test_csd_select_matches_oracle(population):
+    tasks, ops = population
+    scheduler = CSDScheduler(ZERO_OVERHEAD, dp_queue_count=2)
+    for t in tasks:
+        scheduler.add_task(t)
+    selected, _ = scheduler.select()
+    assert selected is oracle_select(tasks)
+    for index in ops:
+        t = tasks[index]
+        if t.ready:
+            scheduler.on_block(t)
+        else:
+            scheduler.on_unblock(t)
+        selected, _ = scheduler.select()
+        assert selected is oracle_select(tasks)
+
+
+@settings(max_examples=200, deadline=None)
+@given(csd_population(), st.data())
+def test_csd_pi_preserves_oracle_agreement(population, data):
+    """Same oracle check, but with random same-queue PI raises and
+    restores interleaved (DP deadline overwrites, FP repositions)."""
+    tasks, ops = population
+    scheduler = CSDScheduler(ZERO_OVERHEAD, dp_queue_count=2)
+    for t in tasks:
+        scheduler.add_task(t)
+    raised = []
+    for index in ops:
+        t = tasks[index]
+        action = data.draw(st.sampled_from(["flip", "raise", "restore"]))
+        if action == "flip":
+            if t.ready:
+                scheduler.on_block(t)
+            else:
+                scheduler.on_unblock(t)
+        elif action == "raise":
+            donor = tasks[data.draw(st.integers(0, len(tasks) - 1))]
+            if donor.csd_queue == t.csd_queue and donor is not t and t not in raised:
+                scheduler.raise_priority(t, donor)
+                raised.append(t)
+        elif action == "restore" and raised:
+            target = raised.pop()
+            scheduler.restore_priority(target)
+        selected, _ = scheduler.select()
+        assert selected is oracle_select(tasks)

@@ -1,0 +1,87 @@
+"""Determinism: identical configurations produce identical histories.
+
+The whole experimental method rests on the simulation being exactly
+reproducible -- same inputs, same virtual timeline, bit for bit.
+"""
+
+from repro.core.csd import CSDScheduler
+from repro.core.overhead import OverheadModel
+from repro.kernel.devices import AperiodicDevice, PeriodicDevice
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Acquire, Compute, Program, Release, Send, Recv
+from repro.net import Cluster, Fieldbus, net_send
+from repro.timeunits import ms, us
+
+
+def build_app():
+    k = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+    k.create_semaphore("S")
+    k.create_mailbox("m")
+    k.create_thread(
+        "a",
+        Program([Acquire("S"), Compute(us(300)), Release("S"),
+                 Send("m", size=8, payload="x")]),
+        period=ms(5), csd_queue=0,
+    )
+    k.create_thread(
+        "b",
+        Program([Recv("m"), Acquire("S"), Compute(us(500)), Release("S")]),
+        period=ms(10), csd_queue=1,
+    )
+    PeriodicDevice(k, "dev", vector=1, period=ms(7), jitter=us(100), seed=3)
+    k.interrupts.register(1, lambda kern, vec: None)
+    return k
+
+
+def history(kernel, horizon=ms(200)):
+    trace = kernel.run_until(horizon)
+    return (
+        tuple(trace.events),
+        tuple((j.thread, j.release, j.completion) for j in trace.jobs),
+        trace.context_switches,
+        trace.kernel_time_total,
+        kernel.now,
+    )
+
+
+def test_identical_kernels_identical_histories():
+    assert history(build_app()) == history(build_app())
+
+
+def test_cluster_runs_are_deterministic():
+    def build_cluster():
+        cluster = Cluster(Fieldbus(1_000_000))
+        for i in range(3):
+            k = Kernel(CSDScheduler(OverheadModel(), dp_queue_count=1))
+            iface = cluster.add_node(f"n{i}", k)
+            k.create_thread(
+                "tx",
+                Program([Compute(us(40 * (i + 1))),
+                         net_send(iface, can_id=0x10 + i, size=4)]),
+                period=ms(8), deadline=ms(7), csd_queue=0,
+            )
+        cluster.run_until(ms(100))
+        return tuple(
+            (name, tuple(k.trace.events), k.trace.kernel_time_total)
+            for name, k in cluster.nodes.items()
+        ) + (cluster.bus.frames_delivered, cluster.bus.bits_carried)
+
+    assert build_cluster() == build_cluster()
+
+
+def test_runs_split_across_calls_match_single_run():
+    """run_until(a); run_until(b) must equal run_until(b) directly."""
+    whole = build_app()
+    whole_history = history(whole, ms(100))
+
+    split = build_app()
+    for t in range(10, 101, 10):
+        split.run_until(ms(t))
+    split_history = (
+        tuple(split.trace.events),
+        tuple((j.thread, j.release, j.completion) for j in split.trace.jobs),
+        split.trace.context_switches,
+        split.trace.kernel_time_total,
+        split.now,
+    )
+    assert split_history == whole_history

@@ -1,0 +1,85 @@
+"""Tests for deadline-monotonic support (Section 5.3's 'any
+fixed-priority scheduler such as deadline-monotonic')."""
+
+import pytest
+
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.core.schedulability import dm_response_times, dm_schedulable, rm_schedulable
+from repro.core.task import TaskSpec, Workload
+from repro.sim.kernelsim import simulate_workload
+from repro.timeunits import ms
+
+
+def wl(*triples_ms):
+    return Workload(
+        TaskSpec(name=f"t{i}", period=ms(p), wcet=ms(c), deadline=ms(d))
+        for i, (p, c, d) in enumerate(triples_ms)
+    )
+
+
+class TestDMAnalysis:
+    def test_equals_rm_for_implicit_deadlines(self):
+        w = Workload(
+            [
+                TaskSpec(name="a", period=ms(10), wcet=ms(3)),
+                TaskSpec(name="b", period=ms(20), wcet=ms(5)),
+            ]
+        )
+        assert dm_schedulable(w, ZERO_OVERHEAD) == rm_schedulable(w, ZERO_OVERHEAD)
+
+    def test_dm_beats_rm_on_constrained_deadlines(self):
+        """The classic case: a long-period task with a tight deadline
+        must outrank a short-period task.  RM gets it wrong, DM right."""
+        w = wl((20, 6, 20), (100, 4, 6))
+        assert not rm_schedulable(w, ZERO_OVERHEAD)
+        assert dm_schedulable(w, ZERO_OVERHEAD)
+
+    def test_response_times_ordered_by_deadline(self):
+        w = wl((20, 6, 20), (100, 4, 6))
+        responses = dm_response_times(w, ZERO_OVERHEAD)
+        # t1 (deadline 6) runs first: response = its own cost.
+        assert responses["t1"] == ms(4)
+        # t0 waits behind t1 once.
+        assert responses["t0"] == ms(10)
+
+    def test_empty_workload(self):
+        assert dm_schedulable(Workload([]))
+
+
+class TestDMInKernel:
+    def test_dm_policy_simulates(self):
+        w = wl((20, 6, 20), (100, 4, 6))
+        kernel, trace = simulate_workload(
+            w, "dm", duration=ms(200), model=ZERO_OVERHEAD
+        )
+        assert not trace.deadline_violations(kernel.now)
+
+    def test_rm_policy_misses_same_workload(self):
+        w = wl((20, 6, 20), (100, 4, 6))
+        kernel, trace = simulate_workload(
+            w, "rm", duration=ms(200), model=ZERO_OVERHEAD
+        )
+        assert trace.deadline_violations(kernel.now)
+
+    def test_dm_key_on_thread(self):
+        from repro.kernel.kernel import Kernel
+        from repro.core.rm import RMScheduler
+        from repro.kernel.program import Compute, Program
+
+        k = Kernel(RMScheduler(ZERO_OVERHEAD))
+        t = k.create_thread(
+            "t", Program([Compute(ms(1))]), period=ms(100), deadline=ms(7),
+            fp_policy="dm",
+        )
+        assert t.base_key == (ms(7), "t")
+
+    def test_unknown_policy_rejected(self):
+        from repro.kernel.kernel import Kernel
+        from repro.core.rm import RMScheduler
+        from repro.kernel.program import Compute, Program
+
+        k = Kernel(RMScheduler(ZERO_OVERHEAD))
+        with pytest.raises(ValueError):
+            k.create_thread(
+                "t", Program([Compute(1)]), period=ms(10), fp_policy="lifo"
+            )

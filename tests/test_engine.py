@@ -1,0 +1,78 @@
+"""Tests for the discrete-event engine (clock + event queue)."""
+
+import pytest
+
+from repro.sim.engine import EventQueue, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0
+
+    def test_advance_to(self):
+        c = VirtualClock()
+        c.advance_to(100)
+        assert c.now == 100
+
+    def test_advance_by(self):
+        c = VirtualClock(50)
+        c.advance_by(25)
+        assert c.now == 75
+
+    def test_no_time_travel(self):
+        c = VirtualClock(100)
+        with pytest.raises(ValueError):
+            c.advance_to(50)
+        with pytest.raises(ValueError):
+            c.advance_by(-1)
+
+
+class TestEventQueue:
+    def test_fifo_within_same_time(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(10, lambda: fired.append("a"))
+        q.schedule(10, lambda: fired.append("b"))
+        while True:
+            ev = q.pop_due(10)
+            if ev is None:
+                break
+            ev.action()
+        assert fired == ["a", "b"]
+
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.schedule(30, lambda: None, "late")
+        q.schedule(10, lambda: None, "early")
+        assert q.peek_time() == 10
+        assert q.pop_due(100).label == "early"
+        assert q.pop_due(100).label == "late"
+
+    def test_pop_due_respects_now(self):
+        q = EventQueue()
+        q.schedule(50, lambda: None)
+        assert q.pop_due(49) is None
+        assert q.pop_due(50) is not None
+
+    def test_cancel(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda: None, "dead")
+        keep = q.schedule(20, lambda: None, "alive")
+        ev.cancel()
+        assert q.peek_time() == 20
+        assert q.pop_due(100) is keep
+
+    def test_len_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(10, lambda: None)
+        q.schedule(20, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+    def test_empty_peek(self):
+        assert EventQueue().peek_time() is None

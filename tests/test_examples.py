@@ -1,0 +1,55 @@
+"""Integration: every example application runs clean, end to end.
+
+The examples are full applications on the public API; running their
+``main()`` exercises scheduler + sync + IPC + devices (+ the cluster,
+for the distributed ones) together.  Each example asserts its own
+schedulability, so a silent regression anywhere surfaces here.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
+
+EXAMPLES = [
+    "quickstart",
+    "scheduler_comparison",
+    "engine_control",
+    "voice_pipeline",
+    "distributed_control",
+    "avionics_cluster",
+]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name, capsys):
+    module = importlib.import_module(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 200  # a real report was printed
+
+
+def test_quickstart_reports_no_violations(capsys):
+    module = importlib.import_module("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "deadline violations: 0" in out
+
+
+def test_engine_control_shows_emeralds_savings(capsys):
+    module = importlib.import_module("engine_control")
+    module.main()
+    out = capsys.readouterr().out
+    assert "saved" in out
+    assert "hint-parks" in out
+
+
+def test_scheduler_comparison_shows_tau5_miss(capsys):
+    module = importlib.import_module("scheduler_comparison")
+    module.main()
+    out = capsys.readouterr().out
+    assert "tau5" in out
+    assert "breakdown" in out.lower()

@@ -1,0 +1,92 @@
+"""Tests for the small-memory footprint accounting."""
+
+import pytest
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.kernel.footprint import (
+    KERNEL_CODE_BYTES,
+    FootprintModel,
+    kernel_footprint,
+)
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Compute, Program
+from repro.timeunits import ms
+
+
+def small_kernel():
+    k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+    k.create_thread("a", Program([Compute(ms(1))]), period=ms(10))
+    k.create_thread("b", Program([Compute(ms(1))]), period=ms(20))
+    k.create_semaphore("m")
+    k.create_event("e")
+    k.create_mailbox("box", capacity=4, max_message_size=32)
+    k.create_channel("c", slots=4)
+    k.create_timer("t", ms(5), lambda kern: None)
+    return k
+
+
+class TestFootprint:
+    def test_code_size_matches_paper(self):
+        assert KERNEL_CODE_BYTES == 13 * 1024
+
+    def test_itemization_covers_all_objects(self):
+        report = kernel_footprint(small_kernel())
+        categories = report.by_category()
+        assert categories["threads"] > 0
+        assert categories["sync"] > 0
+        assert categories["ipc"] > 0
+        assert categories["timers"] > 0
+        assert categories["scheduler"] > 0
+
+    def test_thread_cost(self):
+        model = FootprintModel()
+        empty = kernel_footprint(Kernel(EDFScheduler(ZERO_OVERHEAD)))
+        k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        k.create_thread("a", Program([Compute(ms(1))]), period=ms(10))
+        one = kernel_footprint(k)
+        delta = one.data_bytes - empty.data_bytes
+        assert delta == model.tcb_bytes + model.stack_bytes + model.queue_node_bytes
+
+    def test_mailbox_buffer_scales_with_capacity(self):
+        model = FootprintModel()
+        k1 = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        k1.create_mailbox("m", capacity=2, max_message_size=64)
+        k2 = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        k2.create_mailbox("m", capacity=8, max_message_size=64)
+        diff = kernel_footprint(k2).data_bytes - kernel_footprint(k1).data_bytes
+        assert diff == 6 * 64
+
+    def test_typical_app_fits_small_memory_parts(self):
+        """The engine-control-sized configuration must fit 32 KB."""
+        report = kernel_footprint(small_kernel())
+        assert report.fits(32 * 1024)
+        assert not report.fits(KERNEL_CODE_BYTES)  # code alone fills that
+
+    def test_render_mentions_code_and_total(self):
+        text = kernel_footprint(small_kernel()).render()
+        assert "kernel code" in text
+        assert "total:" in text
+
+    def test_custom_model(self):
+        fat = FootprintModel(stack_bytes=4096)
+        thin = FootprintModel(stack_bytes=128)
+        k = small_kernel()
+        assert kernel_footprint(k, fat).data_bytes > kernel_footprint(k, thin).data_bytes
+
+    def test_example_applications_fit_128k(self):
+        """Every example application must fit the paper's top-end part."""
+        import sys
+        sys.path.insert(0, "examples")
+        import importlib
+
+        for module_name in ("quickstart", "engine_control", "voice_pipeline"):
+            module = importlib.import_module(module_name)
+            if module_name == "engine_control":
+                kernel = module.build_kernel("emeralds")
+            else:
+                kernel = module.build_kernel()
+            report = kernel_footprint(kernel)
+            assert report.fits(128 * 1024), (
+                f"{module_name}: {report.total_bytes} bytes"
+            )

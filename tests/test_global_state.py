@@ -1,0 +1,141 @@
+"""Tests for globally replicated state messages over the fieldbus."""
+
+import pytest
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Call, Compute, Program, StateRead
+from repro.net import Cluster, Fieldbus
+from repro.net.global_state import GlobalStateChannel
+from repro.timeunits import ms, us
+
+
+def zero_kernel():
+    return Kernel(EDFScheduler(ZERO_OVERHEAD))
+
+
+def make_cluster(n_nodes=3):
+    cluster = Cluster(Fieldbus(1_000_000))
+    for i in range(n_nodes):
+        cluster.add_node(f"n{i}", zero_kernel())
+    return cluster
+
+
+class TestGlobalStateChannel:
+    def test_replicas_created_on_every_node(self):
+        cluster = make_cluster(3)
+        channel = GlobalStateChannel(cluster, "speed", can_id=0x10, writer_node="n0")
+        assert set(channel.replicas) == {"n0", "n1", "n2"}
+        for node in ("n1", "n2"):
+            assert channel.channel_name(node) in cluster.nodes[node].channels
+
+    def test_unknown_writer_rejected(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ValueError):
+            GlobalStateChannel(cluster, "x", can_id=1, writer_node="ghost")
+
+    def test_value_propagates_to_all_replicas(self):
+        cluster = make_cluster(3)
+        channel = GlobalStateChannel(
+            cluster, "speed", can_id=0x10, writer_node="n0", driver_period=ms(5)
+        )
+        writer = cluster.nodes["n0"]
+        counter = {"v": 0}
+
+        def next_value(kernel, thread):
+            counter["v"] += 1
+            return counter["v"]
+
+        writer.create_thread(
+            "publisher",
+            Program([Compute(us(50)), channel.publish_op(value_fn=next_value)]),
+            period=ms(10),
+            deadline=ms(5),
+        )
+        cluster.run_until(ms(100))
+        authoritative = channel.local_channel("n0").read()
+        assert authoritative == counter["v"]
+        for node in ("n1", "n2"):
+            value = channel.local_channel(node).read()
+            # Replicas hold the latest or the immediately preceding
+            # value (one bus latency behind).
+            assert value in (authoritative, authoritative - 1)
+            assert value >= 1
+
+    def test_reader_threads_use_plain_state_reads(self):
+        cluster = make_cluster(2)
+        channel = GlobalStateChannel(
+            cluster, "temp", can_id=0x11, writer_node="n0", driver_period=ms(5)
+        )
+        writer = cluster.nodes["n0"]
+        writer.create_thread(
+            "publisher",
+            Program([channel.publish_op(value=42)]),
+            period=ms(10),
+            deadline=ms(5),
+        )
+        reader_kernel = cluster.nodes["n1"]
+        seen = []
+        reader_kernel.create_thread(
+            "reader",
+            Program(
+                [
+                    StateRead(channel.channel_name("n1")),
+                    Call(lambda kern, t: seen.append(t.last_read)),
+                ]
+            ),
+            period=ms(20),
+            deadline=ms(15),
+        )
+        cluster.run_until(ms(100))
+        assert 42 in seen
+
+    def test_acceptance_filters_extended(self):
+        cluster = Cluster(Fieldbus(1_000_000))
+        cluster.add_node("w", zero_kernel())
+        cluster.add_node("r", zero_kernel(), accept={0x99})
+        channel = GlobalStateChannel(cluster, "s", can_id=0x10, writer_node="w")
+        assert 0x10 in cluster.interfaces["r"].accept
+
+    def test_multiple_channels_share_the_driver_queue(self):
+        """Two global channels on the same cluster: each driver passes
+        frames of the other channel through untouched."""
+        cluster = make_cluster(2)
+        speed = GlobalStateChannel(
+            cluster, "speed", can_id=0x10, writer_node="n0", driver_period=ms(5)
+        )
+        temp = GlobalStateChannel(
+            cluster, "temp", can_id=0x11, writer_node="n0", driver_period=ms(5)
+        )
+        writer = cluster.nodes["n0"]
+        writer.create_thread(
+            "publisher",
+            Program(
+                [speed.publish_op(value="fast"), temp.publish_op(value="warm")]
+            ),
+            period=ms(10),
+            deadline=ms(5),
+        )
+        cluster.run_until(ms(60))
+        assert speed.local_channel("n1").read() == "fast"
+        assert temp.local_channel("n1").read() == "warm"
+
+    def test_no_torn_reads_on_replicas(self):
+        cluster = make_cluster(2)
+        channel = GlobalStateChannel(
+            cluster, "s", can_id=0x10, writer_node="n0", driver_period=ms(2)
+        )
+        writer = cluster.nodes["n0"]
+        writer.create_thread(
+            "publisher", Program([channel.publish_op(value=1)]),
+            period=ms(5), deadline=ms(3),
+        )
+        reader = cluster.nodes["n1"]
+        reader.create_thread(
+            "slow_reader",
+            Program([StateRead(channel.channel_name("n1"), duration=ms(1))]),
+            period=ms(10), deadline=ms(10),
+        )
+        cluster.run_until(ms(200))
+        assert channel.local_channel("n1").torn_reads == 0

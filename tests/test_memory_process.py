@@ -1,0 +1,128 @@
+"""Tests for memory regions, protection checks, and processes."""
+
+import pytest
+
+from repro.kernel.memory import MemoryMap, ProtectionFault, Region
+from repro.kernel.process import AddressSpaceAllocator, Process
+
+
+class TestRegion:
+    def test_extent(self):
+        r = Region("r", base=100, size=50)
+        assert r.end == 150
+        assert r.contains(100)
+        assert r.contains(149)
+        assert not r.contains(150)
+        assert r.contains(100, 50)
+        assert not r.contains(100, 51)
+
+    def test_overlap(self):
+        a = Region("a", 0, 100)
+        assert a.overlaps(Region("b", 50, 10))
+        assert not a.overlaps(Region("c", 100, 10))
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Region("bad", -1, 10)
+        with pytest.raises(ValueError):
+            Region("bad", 0, 0)
+
+
+class TestMemoryMap:
+    def test_map_and_lookup(self):
+        m = MemoryMap()
+        m.map(Region("code", 0, 100, writable=False))
+        assert "code" in m
+        assert m.region("code").base == 0
+
+    def test_duplicate_name_rejected(self):
+        m = MemoryMap()
+        m.map(Region("r", 0, 10))
+        with pytest.raises(ValueError):
+            m.map(Region("r", 100, 10))
+
+    def test_overlap_rejected(self):
+        m = MemoryMap()
+        m.map(Region("a", 0, 100))
+        with pytest.raises(ValueError):
+            m.map(Region("b", 50, 100))
+
+    def test_unmap(self):
+        m = MemoryMap()
+        m.map(Region("r", 0, 10))
+        m.unmap("r")
+        assert "r" not in m
+        with pytest.raises(KeyError):
+            m.unmap("r")
+
+    def test_unknown_region_faults(self):
+        with pytest.raises(ProtectionFault):
+            MemoryMap().region("ghost")
+
+    def test_read_protection(self):
+        m = MemoryMap()
+        m.map(Region("wo", 0, 10, readable=False))
+        with pytest.raises(ProtectionFault):
+            m.check_readable("wo")
+
+    def test_write_protection(self):
+        m = MemoryMap()
+        m.map(Region("ro", 0, 10, writable=False))
+        with pytest.raises(ProtectionFault):
+            m.check_writable("ro")
+        m.check_readable("ro")  # reading is fine
+
+    def test_length_checks(self):
+        m = MemoryMap()
+        m.map(Region("small", 0, 8))
+        with pytest.raises(ProtectionFault):
+            m.check_readable("small", 9)
+        with pytest.raises(ProtectionFault):
+            m.check_writable("small", 16)
+        m.check_writable("small", 8)
+
+    def test_find_by_address(self):
+        m = MemoryMap()
+        m.map(Region("a", 0, 10))
+        m.map(Region("b", 20, 10))
+        assert m.find(25).name == "b"
+        assert m.find(15) is None
+
+
+class TestAllocator:
+    def test_bump_allocation(self):
+        a = AddressSpaceAllocator(total_bytes=100)
+        assert a.allocate(40) == 0
+        assert a.allocate(40) == 40
+        assert a.used_bytes == 80
+        assert a.free_bytes == 20
+
+    def test_exhaustion(self):
+        a = AddressSpaceAllocator(total_bytes=10)
+        with pytest.raises(MemoryError):
+            a.allocate(11)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            AddressSpaceAllocator(0)
+        with pytest.raises(ValueError):
+            AddressSpaceAllocator(10).allocate(0)
+
+
+class TestProcess:
+    def test_map_region_via_allocator(self):
+        p = Process("app", allocator=AddressSpaceAllocator(1024))
+        r1 = p.map_region("data", 100)
+        r2 = p.map_region("stack", 200)
+        assert r1.base == 0
+        assert r2.base == 100
+        assert len(p.memory) == 2
+
+    def test_explicit_base(self):
+        p = Process("app")
+        region = p.map_region("mmio", 16, base=0xF000)
+        assert region.base == 0xF000
+
+    def test_no_allocator_requires_base(self):
+        with pytest.raises(ValueError):
+            Process("app").map_region("data", 10)

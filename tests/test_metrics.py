@@ -1,0 +1,96 @@
+"""Tests for trace metrics (response stats, miss ratio, CPU breakdown)."""
+
+import pytest
+
+from repro.analysis.metrics import cpu_breakdown, miss_ratio, response_stats
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import OverheadModel, ZERO_OVERHEAD
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Compute, Program
+from repro.sim.trace import Trace
+from repro.timeunits import ms
+
+
+def run_simple(model=ZERO_OVERHEAD, wcet=ms(2), period=ms(10), horizon=ms(100)):
+    k = Kernel(EDFScheduler(model))
+    k.create_thread("t", Program([Compute(wcet)]), period=period)
+    trace = k.run_until(horizon)
+    return k, trace
+
+
+class TestResponseStats:
+    def test_uncontended_task(self):
+        k, trace = run_simple()
+        stats = response_stats(trace, "t")
+        assert stats.jobs == 10
+        assert stats.completed == 10
+        assert stats.minimum == ms(2)
+        assert stats.maximum == ms(2)
+        assert stats.mean == ms(2)
+        assert stats.p99 == ms(2)
+        assert stats.completion_ratio == 1.0
+
+    def test_no_jobs(self):
+        stats = response_stats(Trace(), "ghost")
+        assert stats.jobs == 0
+        assert stats.minimum is None
+        assert stats.completion_ratio == 0.0
+
+    def test_contended_task_varies(self):
+        k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        k.create_thread("hi", Program([Compute(ms(3))]), period=ms(10),
+                        deadline=ms(5))
+        k.create_thread("lo", Program([Compute(ms(2))]), period=ms(20))
+        trace = k.run_until(ms(100))
+        stats = response_stats(trace, "lo")
+        assert stats.maximum >= stats.minimum
+        assert stats.maximum == ms(5)  # waits behind hi's 3 ms
+
+
+class TestMissRatio:
+    def test_zero_for_feasible(self):
+        k, trace = run_simple()
+        assert miss_ratio(trace, k.now) == 0.0
+
+    def test_one_for_always_late(self):
+        k, trace = run_simple(wcet=ms(15), period=ms(10), horizon=ms(100))
+        assert miss_ratio(trace, k.now) > 0.5
+
+    def test_per_thread_filter(self):
+        # RM's strict priorities isolate "good" from the overloaded
+        # "bad" (under EDF, bad's accumulated lateness would eventually
+        # poison good's deadlines too -- the overload domino effect).
+        from repro.core.rm import RMScheduler
+
+        k = Kernel(RMScheduler(ZERO_OVERHEAD))
+        k.create_thread("good", Program([Compute(ms(1))]), period=ms(10))
+        k.create_thread("bad", Program([Compute(ms(25))]), period=ms(20))
+        trace = k.run_until(ms(100))
+        assert miss_ratio(trace, k.now, "good") == 0.0
+        assert miss_ratio(trace, k.now, "bad") > 0.0
+
+    def test_empty_trace(self):
+        assert miss_ratio(Trace(), 0) == 0.0
+
+
+class TestCpuBreakdown:
+    def test_shares_sum_to_one_zero_model(self):
+        k, trace = run_simple()
+        b = cpu_breakdown(trace, 0, k.now)
+        assert b.application_ns == ms(20)
+        assert b.kernel_ns == 0
+        assert b.idle_ns == ms(80)
+        assert b.application_share + b.kernel_share + b.idle_share == pytest.approx(1.0)
+
+    def test_kernel_time_appears_with_model(self):
+        k, trace = run_simple(model=OverheadModel())
+        b = cpu_breakdown(trace, 0, k.now)
+        assert b.kernel_ns > 0
+        assert b.kernel_by_category["sched"] > 0
+        assert (
+            b.application_ns + b.kernel_ns + b.idle_ns == b.window_ns
+        )
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            cpu_breakdown(Trace(), 10, 10)

@@ -1,0 +1,148 @@
+"""Tests for the fieldbus response-time analysis ([37,40]-style layer)."""
+
+import pytest
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Call, Program, Wait
+from repro.net import Cluster, Fieldbus, net_send
+from repro.net.analysis import (
+    MessageStream,
+    assign_deadline_monotonic_ids,
+    bus_response_times,
+    bus_schedulable,
+    bus_utilization,
+)
+from repro.timeunits import ms, us
+
+
+BUS = Fieldbus(1_000_000)
+FRAME8 = BUS.frame_time_ns(8)  # 111 us
+
+
+def stream(name, can_id, period_ms, size=8, deadline_ms=None):
+    return MessageStream(
+        name=name,
+        can_id=can_id,
+        size=size,
+        period=ms(period_ms),
+        deadline=ms(deadline_ms) if deadline_ms else None,
+    )
+
+
+class TestAnalysis:
+    def test_single_stream_response_is_wire_time(self):
+        r = bus_response_times([stream("a", 1, 10)], BUS)
+        assert r["a"] == FRAME8
+
+    def test_highest_priority_pays_one_blocking_frame(self):
+        streams = [stream("hi", 1, 10), stream("lo", 2, 50)]
+        r = bus_response_times(streams, BUS)
+        # hi: blocked by one lo frame (non-preemption) + its own time.
+        assert r["hi"] == 2 * FRAME8
+        # lo: waits for hi frames released during its queueing window.
+        assert r["lo"] >= 2 * FRAME8
+
+    def test_interference_accumulates(self):
+        streams = [
+            stream("a", 1, 1),  # one frame per ms: 11.1% of the wire
+            stream("b", 2, 1),
+            stream("c", 3, 10),
+        ]
+        r = bus_response_times(streams, BUS)
+        assert r["c"] is not None
+        assert r["c"] >= 3 * FRAME8
+
+    def test_overload_unschedulable(self):
+        # 10 streams at 1 ms = 111% of the wire.
+        streams = [stream(f"s{i}", i, 1) for i in range(10)]
+        assert not bus_schedulable(streams, BUS)
+
+    def test_utilization(self):
+        u = bus_utilization([stream("a", 1, 10)], BUS)
+        assert u == pytest.approx(FRAME8 / ms(10))
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            MessageStream(name="x", can_id=1, size=8, period=0)
+        with pytest.raises(ValueError):
+            MessageStream(name="x", can_id=1, size=8, period=10, deadline=0)
+
+
+class TestDMAssignment:
+    def test_orders_by_deadline(self):
+        streams = [
+            stream("slow", 99, 100),
+            stream("urgent", 98, 100, deadline_ms=2),
+            stream("mid", 97, 20),
+        ]
+        assigned = assign_deadline_monotonic_ids(streams, base_id=0x10)
+        by_name = {s.name: s.can_id for s in assigned}
+        assert by_name["urgent"] < by_name["mid"] < by_name["slow"]
+
+    def test_dm_rescues_a_tight_deadline(self):
+        """A long-period stream with a tight deadline is unschedulable
+        with period-ordered identifiers but fine after DM assignment."""
+        streams = [
+            stream("fast1", 1, 2),            # 2 ms period
+            stream("fast2", 2, 2),
+            stream("fast3", 3, 2),
+            stream("fast4", 4, 2),
+            stream("alarm", 5, 100, deadline_ms=0.4),  # tight!
+        ]
+        assert not bus_schedulable(streams, BUS)
+        assert bus_schedulable(assign_deadline_monotonic_ids(streams), BUS)
+
+
+class TestAnalysisVsSimulation:
+    def test_simulated_latency_never_exceeds_analysis(self):
+        """The analysis bounds what the simulated bus actually does."""
+        spec = [
+            ("hi", 0x01, 10),
+            ("mid", 0x02, 20),
+            ("lo", 0x03, 40),
+        ]
+        streams = [stream(n, i, p) for n, i, p in spec]
+        bounds = bus_response_times(streams, BUS)
+        assert all(v is not None for v in bounds.values())
+
+        cluster = Cluster(Fieldbus(1_000_000))
+        latencies = {n: [] for n, _, _ in spec}
+        for name, can_id, period in spec:
+            k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+            iface = cluster.add_node(f"tx-{name}", k)
+
+            def send(kern, thread, _iface=iface, _id=can_id):
+                from repro.net import Frame
+
+                _iface.transmit(Frame(can_id=_id, size=8, payload=kern.now))
+
+            k.create_thread(
+                "tx", Program([Call(send)]), period=ms(period), deadline=ms(period)
+            )
+        sink = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        sink_iface = cluster.add_node("sink", sink)
+        id_to_name = {i: n for n, i, _ in spec}
+
+        def record(kern, thread):
+            while True:
+                frame = sink_iface.receive()
+                if frame is None:
+                    break
+                latencies[id_to_name[frame.can_id]].append(kern.now - frame.payload)
+
+        sink.create_thread(
+            "rx",
+            Program([Wait(sink_iface.rx_event_name), Call(record)]),
+            period=ms(2),
+            deadline=ms(2),
+        )
+        cluster.run_until(ms(400))
+        for name, observed in latencies.items():
+            assert observed, f"no {name} frames observed"
+            # Observed latency includes the rx driver's dispatch (one
+            # driver period at most); subtract nothing, just check the
+            # queueing+wire portion never exceeds the analytic bound
+            # plus that slack.
+            assert max(observed) <= bounds[name] + ms(2) + us(100)

@@ -1,0 +1,75 @@
+"""Property-based tests for the fieldbus: conservation and ordering."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fieldbus import Fieldbus
+from repro.net.frame import Frame
+
+requests = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1_000_000),   # request time (ns)
+        st.integers(min_value=0, max_value=0x7FF),       # can id
+        st.integers(min_value=0, max_value=8),           # payload bytes
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(requests)
+def test_every_frame_delivered_exactly_once(reqs):
+    bus = Fieldbus(1_000_000)
+    for time, can_id, size in reqs:
+        bus.queue(time, Frame(can_id=can_id, size=size))
+    deliveries = bus.process(horizon=10_000_000_000)
+    assert len(deliveries) == len(reqs)
+    assert bus.pending_count == 0
+    # Conservation of wire bits.
+    assert bus.bits_carried == sum(Frame(can_id=c, size=s).bits for _, c, s in reqs)
+
+
+@settings(max_examples=200, deadline=None)
+@given(requests)
+def test_bus_never_overlaps_transmissions(reqs):
+    bus = Fieldbus(1_000_000)
+    for time, can_id, size in reqs:
+        bus.queue(time, Frame(can_id=can_id, size=size))
+    deliveries = bus.process(horizon=10_000_000_000)
+    # Completion times strictly increase and each frame takes at least
+    # its own wire time after the earliest possible start.
+    previous_completion = 0
+    for d in deliveries:
+        duration = bus.frame_time_ns(d.frame.size)
+        assert d.time >= previous_completion + duration or previous_completion == 0
+        assert d.time >= duration
+        previous_completion = d.time
+
+
+@settings(max_examples=200, deadline=None)
+@given(requests)
+def test_delivery_never_precedes_request_plus_wire_time(reqs):
+    bus = Fieldbus(1_000_000)
+    stamped = []
+    for time, can_id, size in reqs:
+        frame = Frame(can_id=can_id, size=size, sender=f"s{len(stamped)}")
+        bus.queue(time, frame)
+        stamped.append((time, frame))
+    deliveries = bus.process(horizon=10_000_000_000)
+    by_sender = {f.sender: t for t, f in stamped}
+    for d in deliveries:
+        request_time = by_sender[d.frame.sender]
+        assert d.time >= request_time + bus.frame_time_ns(d.frame.size)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=15))
+def test_simultaneous_requests_deliver_in_priority_order(ids):
+    """All frames queued at t=0: strict lowest-id-first service."""
+    bus = Fieldbus(1_000_000)
+    for i, can_id in enumerate(ids):
+        bus.queue(0, Frame(can_id=can_id, size=0, sender=f"s{i}"))
+    deliveries = bus.process(horizon=10_000_000_000)
+    served = [d.frame.can_id for d in deliveries]
+    assert served == sorted(served)

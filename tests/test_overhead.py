@@ -1,0 +1,119 @@
+"""Unit tests for the Table 1 cost model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.overhead import OverheadModel, ZERO_OVERHEAD
+
+
+@pytest.fixture
+def model():
+    return OverheadModel()
+
+
+class TestTable1Formulas:
+    """The exact published formulas, in nanoseconds."""
+
+    def test_edf_block_is_constant_1_6us(self, model):
+        assert model.edf_block(1) == 1600
+        assert model.edf_block(50) == 1600
+
+    def test_edf_unblock_is_constant_1_2us(self, model):
+        assert model.edf_unblock(50) == 1200
+
+    def test_edf_select_linear(self, model):
+        # 1.2 + 0.25 n us
+        assert model.edf_select(0) == 1200
+        assert model.edf_select(10) == 3700
+        assert model.edf_select(40) == 11200
+
+    def test_rm_block_linear(self, model):
+        # 1.0 + 0.36 n us
+        assert model.rm_block(0) == 1000
+        assert model.rm_block(10) == 4600
+
+    def test_rm_unblock_constant(self, model):
+        assert model.rm_unblock(50) == 1400
+
+    def test_rm_select_constant(self, model):
+        assert model.rm_select(50) == 600
+
+    @pytest.mark.parametrize(
+        "n,levels",
+        [(0, 0), (1, 1), (3, 2), (7, 3), (15, 4), (57, 6), (58, 6)],
+    )
+    def test_heap_levels(self, model, n, levels):
+        # 0.4 + 2.8 ceil(log2(n + 1)) us
+        assert model.heap_block(n) == 400 + 2800 * levels
+        assert model.heap_unblock(n) == 1900 + 700 * levels
+
+    def test_heap_select_constant(self, model):
+        assert model.heap_select(50) == 600
+
+    def test_heap_crossover_near_58_tasks(self, model):
+        """Table 1's discussion: the heap only wins for very large n
+        (58 on their hardware).  Check that the queue beats the heap
+        below the crossover and loses above it."""
+
+        def queue_total(n):
+            return model.rm_block(n) + model.rm_unblock(n) + 2 * model.rm_select(n)
+
+        def heap_total(n):
+            return model.heap_block(n) + model.heap_unblock(n) + 2 * model.heap_select(n)
+
+        assert queue_total(20) < heap_total(20)
+        assert queue_total(100) > heap_total(100)
+
+
+class TestPerPeriod:
+    def test_per_period_formula(self):
+        # t = 1.5 (t_b + t_u + 2 t_s)
+        assert OverheadModel.per_period(1000, 2000, 3000) == round(1.5 * 9000)
+
+    def test_per_period_custom_factor(self):
+        assert OverheadModel.per_period(1000, 1000, 1000, blocking_factor=1.0) == 4000
+
+
+class TestPriorityInheritanceCosts:
+    def test_pi_standard_linear(self, model):
+        assert model.pi_standard_step(0) == 150
+        assert model.pi_standard_step(15) == 150 + 200 * 15
+
+    def test_pi_o1_constant(self, model):
+        assert model.pi_o1_step() == model.pi_o1_step_ns
+
+    def test_pi_dp_constant(self, model):
+        assert model.pi_dp_step() == model.pi_dp_step_ns
+
+
+class TestZeroOverhead:
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_everything_is_free(self, n):
+        z = ZERO_OVERHEAD
+        assert z.edf_block(n) == 0
+        assert z.edf_unblock(n) == 0
+        assert z.edf_select(n) == 0
+        assert z.rm_block(n) == 0
+        assert z.rm_select(n) == 0
+        assert z.heap_block(n) == 0
+        assert z.heap_unblock(n) == 0
+        assert z.pi_standard_step(n) == 0
+        assert z.pi_o1_step() == 0
+        assert z.pi_dp_step() == 0
+        assert z.context_switch_ns == 0
+        assert z.syscall_ns == 0
+
+
+class TestMonotonicity:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500))
+    def test_costs_monotone_in_queue_length(self, a, b):
+        lo, hi = sorted((a, b))
+        m = OverheadModel()
+        assert m.edf_select(lo) <= m.edf_select(hi)
+        assert m.rm_block(lo) <= m.rm_block(hi)
+        assert m.heap_block(lo) <= m.heap_block(hi)
+        assert m.heap_unblock(lo) <= m.heap_unblock(hi)
+        assert m.pi_standard_step(lo) <= m.pi_standard_step(hi)

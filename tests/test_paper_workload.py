@@ -1,0 +1,168 @@
+"""End-to-end reproduction of Table 2 / Figure 2 in the live kernel."""
+
+import pytest
+
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.core.task import table2_workload
+from repro.sim.kernelsim import build_kernel, hyperperiod, make_scheduler, simulate_workload
+from repro.timeunits import ms
+
+
+class TestFigure2:
+    """The RM schedule of the Table 2 workload (Figure 2)."""
+
+    def test_rm_misses_tau5_and_only_tau5_first(self):
+        kernel, trace = simulate_workload(
+            table2_workload(), "rm", duration=ms(40), model=ZERO_OVERHEAD
+        )
+        violations = trace.deadline_violations(kernel.now)
+        assert violations
+        assert {j.thread for j in violations} == {"tau5"}
+
+    def test_edf_schedules_everything(self):
+        kernel, trace = simulate_workload(
+            table2_workload(), "edf", duration=ms(200), model=ZERO_OVERHEAD
+        )
+        assert not trace.deadline_violations(kernel.now)
+
+    def test_csd2_with_five_dp_tasks_schedules_everything(self):
+        """Section 5.3: tau1..tau5 go to the DP queue, tau6..tau10 use
+        cheap RM, and the workload becomes feasible."""
+        kernel, trace = simulate_workload(
+            table2_workload(), "csd-2", duration=ms(200),
+            model=ZERO_OVERHEAD, splits=(5,),
+        )
+        assert not trace.deadline_violations(kernel.now)
+
+    def test_figure2_prefix_trace(self):
+        """tau1..tau4 occupy [0, 4 ms) back to back under RM."""
+        kernel, trace = simulate_workload(
+            table2_workload(), "rm", duration=ms(10), model=ZERO_OVERHEAD
+        )
+        for i in range(4):
+            segs = [s for s in trace.segments if s.who == f"tau{i + 1}"]
+            assert segs[0].start == ms(i)
+            assert segs[0].end == ms(i + 1)
+
+    def test_tau5_preempted_by_second_releases(self):
+        """tau1's second invocation (t = 5 ms) preempts tau5, exactly
+        the Figure 2 story."""
+        kernel, trace = simulate_workload(
+            table2_workload(), "rm", duration=ms(10), model=ZERO_OVERHEAD
+        )
+        tau5_segments = [s for s in trace.segments if s.who == "tau5"]
+        assert tau5_segments[0].start == ms(4)
+        assert tau5_segments[0].end == ms(5)  # preempted after 1 of 2 ms
+
+    def test_gantt_renders_all_five_short_tasks(self):
+        kernel, trace = simulate_workload(
+            table2_workload(), "rm", duration=ms(20), model=ZERO_OVERHEAD
+        )
+        art = trace.gantt_ascii(0, ms(10), columns=40)
+        for name in ("tau1", "tau2", "tau3", "tau4", "tau5"):
+            assert name in art
+
+
+class TestKernelSimHelpers:
+    def test_make_scheduler_policies(self):
+        from repro.core.csd import CSDScheduler
+        from repro.core.edf import EDFScheduler
+        from repro.core.rm import RMHeapScheduler, RMScheduler
+
+        assert isinstance(make_scheduler("edf"), EDFScheduler)
+        assert isinstance(make_scheduler("rm"), RMScheduler)
+        assert isinstance(make_scheduler("rm-heap"), RMHeapScheduler)
+        csd = make_scheduler("csd-3")
+        assert isinstance(csd, CSDScheduler)
+        assert csd.queue_count == 3
+        with pytest.raises(ValueError):
+            make_scheduler("round-robin")
+
+    def test_csd_requires_allocation(self):
+        with pytest.raises(ValueError):
+            build_kernel(table2_workload(), "csd-2", model=ZERO_OVERHEAD)
+
+    def test_build_kernel_assigns_queues(self):
+        kernel = build_kernel(
+            table2_workload(), "csd-3", model=ZERO_OVERHEAD, splits=(2, 5)
+        )
+        sched = kernel.scheduler
+        assert sched.queue_index_of(kernel.threads["tau1"]) == 0
+        assert sched.queue_index_of(kernel.threads["tau3"]) == 1
+        assert sched.queue_index_of(kernel.threads["tau6"]) == 2
+
+    def test_hyperperiod(self):
+        from repro.core.task import TaskSpec, Workload
+
+        w = Workload(
+            [
+                TaskSpec(name="a", period=ms(4), wcet=ms(1)),
+                TaskSpec(name="b", period=ms(6), wcet=ms(1)),
+            ]
+        )
+        assert hyperperiod(w) == ms(12)
+
+    def test_hyperperiod_capped(self):
+        from repro.core.task import TaskSpec, Workload
+
+        w = Workload(
+            [
+                TaskSpec(name="a", period=ms(7) + 1, wcet=ms(1)),
+                TaskSpec(name="b", period=ms(11) + 3, wcet=ms(1)),
+                TaskSpec(name="c", period=ms(13) + 7, wcet=ms(1)),
+            ]
+        )
+        assert hyperperiod(w, cap=ms(100)) == ms(100)
+
+
+class TestAnalysisSimulationAgreement:
+    """The analytic tests and the live kernel must agree."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ideal_edf_agreement(self, seed):
+        from repro.core.schedulability import edf_schedulable
+        from repro.sim.workload import generate_workload
+
+        w = generate_workload(6, seed=seed, utilization=0.85)
+        analytic = edf_schedulable(w, ZERO_OVERHEAD)
+        kernel, trace = simulate_workload(
+            w, "edf", model=ZERO_OVERHEAD,
+            duration=min(hyperperiod(w), ms(3000)),
+        )
+        simulated = not trace.deadline_violations(kernel.now)
+        if hyperperiod(w) <= ms(3000):
+            assert analytic == simulated
+        elif analytic:
+            assert simulated
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ideal_rm_agreement(self, seed):
+        from repro.core.schedulability import rm_schedulable
+        from repro.sim.workload import generate_workload
+
+        w = generate_workload(6, seed=seed, utilization=0.9)
+        analytic = rm_schedulable(w, ZERO_OVERHEAD)
+        kernel, trace = simulate_workload(
+            w, "rm", model=ZERO_OVERHEAD,
+            duration=min(hyperperiod(w), ms(3000)),
+        )
+        simulated = not trace.deadline_violations(kernel.now)
+        if analytic:
+            # RTA is exact and the critical instant is at t=0, so an
+            # analytically feasible set can never miss in simulation.
+            assert simulated
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ideal_csd_feasible_sets_do_not_miss(self, seed):
+        from repro.core.allocation import find_feasible_splits
+        from repro.sim.workload import generate_workload
+
+        w = generate_workload(5, seed=seed, utilization=0.9)
+        splits = find_feasible_splits(w, 1, ZERO_OVERHEAD)
+        if splits is None:
+            pytest.skip("no feasible CSD-2 allocation at this utilization")
+        kernel, trace = simulate_workload(
+            w, "csd-2", model=ZERO_OVERHEAD, splits=splits,
+            duration=min(hyperperiod(w), ms(3000)),
+        )
+        assert not trace.deadline_violations(kernel.now)

@@ -1,0 +1,120 @@
+"""Tests for thread programs and the Section 6.2.1 code parser."""
+
+import pytest
+
+from repro.kernel.program import (
+    Acquire,
+    Compute,
+    Program,
+    Recv,
+    Release,
+    Send,
+    Signal,
+    Sleep,
+    StateRead,
+    Wait,
+)
+from repro.sync.parser import insert_hints
+from repro.timeunits import us
+
+
+class TestProgram:
+    def test_compute_total(self):
+        p = Program([Compute(us(5)), Acquire("s"), Compute(us(7)), Release("s")])
+        assert p.compute_total() == us(12)
+
+    def test_rejects_non_ops(self):
+        with pytest.raises(TypeError):
+            Program(["compute"])
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            Sleep(-1)
+
+    def test_zero_size_message_rejected(self):
+        with pytest.raises(ValueError):
+            Send("m", size=0)
+
+    def test_indexing(self):
+        ops = [Compute(1), Signal("e")]
+        p = Program(ops)
+        assert len(p) == 2
+        assert p[1] is ops[1]
+        assert list(p) == ops
+
+    def test_blocking_flags(self):
+        assert Acquire("s").blocking
+        assert Wait("e").blocking
+        assert Recv("m").blocking
+        assert Sleep(1).blocking
+        assert Send("m").blocking
+        assert not Release("s").blocking
+        assert not Compute(1).blocking
+        assert not StateRead("c").blocking
+
+
+class TestParser:
+    def test_wait_before_acquire_gets_hint(self):
+        p = Program([Wait("E"), Compute(us(2)), Acquire("S"), Release("S")])
+        parsed = insert_hints(p)
+        assert parsed.program[0].hint == "S"
+        assert parsed.hints_inserted == 1
+
+    def test_wait_before_non_acquire_gets_none(self):
+        p = Program([Wait("E"), Compute(us(2)), Wait("F"), Acquire("S")])
+        parsed = insert_hints(p)
+        # First Wait's next blocking op is Wait("F"), not an acquire.
+        assert parsed.program[0].hint is None
+        # Second Wait is followed by the acquire.
+        assert parsed.program[2].hint == "S"
+
+    def test_recv_and_sleep_are_hintable(self):
+        p = Program([Recv("M"), Acquire("S"), Release("S"), Sleep(us(5)), Acquire("T")])
+        parsed = insert_hints(p)
+        assert parsed.program[0].hint == "S"
+        assert parsed.program[3].hint == "T"
+        assert parsed.hints_inserted == 2
+
+    def test_period_hint_when_body_starts_with_acquire(self):
+        """The implicit period-boundary block is a blocking call too:
+        if the first blocking op of the body is an Acquire, the hint
+        belongs to the period block."""
+        p = Program([Compute(us(3)), Acquire("S"), Release("S")])
+        parsed = insert_hints(p)
+        assert parsed.period_hint == "S"
+
+    def test_no_period_hint_when_body_starts_with_wait(self):
+        p = Program([Wait("E"), Acquire("S")])
+        parsed = insert_hints(p)
+        assert parsed.period_hint is None
+
+    def test_program_without_acquires_untouched(self):
+        ops = [Wait("E"), Compute(us(1)), Signal("F")]
+        parsed = insert_hints(Program(ops))
+        assert parsed.hints_inserted == 0
+        assert parsed.period_hint is None
+        assert parsed.program[0].hint is None
+
+    def test_parser_is_idempotent(self):
+        p = Program([Wait("E"), Acquire("S"), Release("S")])
+        once = insert_hints(p)
+        twice = insert_hints(once.program)
+        assert [getattr(op, "hint", None) for op in once.program] == [
+            getattr(op, "hint", None) for op in twice.program
+        ]
+
+    def test_intervening_nonblocking_ops_do_not_break_hint(self):
+        p = Program(
+            [
+                Wait("E"),
+                Compute(us(1)),
+                Signal("X"),
+                StateRead("c"),
+                Acquire("S"),
+            ]
+        )
+        assert insert_hints(p).program[0].hint == "S"

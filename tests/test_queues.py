@@ -1,0 +1,283 @@
+"""Unit and property tests for the scheduler queue structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queues import ReadyHeap, Schedulable, SortedQueue, UnsortedQueue
+
+
+def ent(name, key, ready=False, deadline=None):
+    e = Schedulable(name, (key, name))
+    e.ready = ready
+    e.abs_deadline = deadline
+    return e
+
+
+class TestUnsortedQueue:
+    def test_add_and_len(self):
+        q = UnsortedQueue()
+        q.add(ent("a", 1))
+        q.add(ent("b", 2))
+        assert len(q) == 2
+
+    def test_double_add_rejected(self):
+        q = UnsortedQueue()
+        e = ent("a", 1)
+        q.add(e)
+        with pytest.raises(ValueError):
+            q.add(e)
+
+    def test_block_unblock_flags(self):
+        q = UnsortedQueue()
+        e = ent("a", 1, ready=True)
+        q.add(e)
+        assert q.ready_count == 1
+        q.block(e)
+        assert not e.ready and q.ready_count == 0
+        q.unblock(e)
+        assert e.ready and q.ready_count == 1
+
+    def test_block_blocked_rejected(self):
+        q = UnsortedQueue()
+        e = ent("a", 1)
+        q.add(e)
+        with pytest.raises(ValueError):
+            q.block(e)
+
+    def test_select_earliest_deadline_ready(self):
+        q = UnsortedQueue()
+        early = ent("early", 5, ready=True, deadline=100)
+        late = ent("late", 1, ready=True, deadline=200)
+        blocked = ent("blocked", 1, ready=False, deadline=10)
+        for e in (late, early, blocked):
+            q.add(e)
+        assert q.select() is early
+
+    def test_select_ignores_blocked(self):
+        q = UnsortedQueue()
+        blocked = ent("b", 1, deadline=1)
+        q.add(blocked)
+        assert q.select() is None
+
+    def test_select_scans_whole_list(self):
+        """t_s is O(n): the scan visits every task."""
+        q = UnsortedQueue()
+        for i in range(10):
+            q.add(ent(f"t{i}", i, ready=True, deadline=100 + i))
+        q.select()
+        assert q.last_scan_steps == 10
+
+    def test_inherited_deadline_wins_selection(self):
+        q = UnsortedQueue()
+        a = ent("a", 1, ready=True, deadline=100)
+        b = ent("b", 2, ready=True, deadline=200)
+        q.add(a)
+        q.add(b)
+        b.pi_deadline = 50
+        assert q.select() is b
+
+    def test_remove(self):
+        q = UnsortedQueue()
+        e = ent("a", 1, ready=True)
+        q.add(e)
+        q.remove(e)
+        assert len(q) == 0 and q.ready_count == 0
+        assert e not in q
+
+    def test_operations_on_foreign_task_rejected(self):
+        q = UnsortedQueue()
+        with pytest.raises(ValueError):
+            q.block(ent("x", 1, ready=True))
+
+
+class TestSortedQueue:
+    def build(self, ready_mask="rrr", keys=(1, 2, 3)):
+        q = SortedQueue()
+        entries = []
+        for i, (key, r) in enumerate(zip(keys, ready_mask)):
+            e = ent(f"t{i}", key, ready=(r == "r"))
+            q.add(e)
+            entries.append(e)
+        return q, entries
+
+    def test_sorted_insertion(self):
+        q = SortedQueue()
+        for key in (5, 1, 3):
+            q.add(ent(f"k{key}", key))
+        assert [t.base_key[0] for t in q] == [1, 3, 5]
+        q.check_invariants()
+
+    def test_select_is_highestp(self):
+        q, (a, b, c) = self.build("brr")
+        assert q.select() is b
+        assert q.last_scan_steps == 1  # O(1)
+
+    def test_select_empty_ready(self):
+        q, _ = self.build("bbb")
+        assert q.select() is None
+
+    def test_block_advances_highestp(self):
+        q, (a, b, c) = self.build("rrr")
+        q.block(a)
+        assert q.select() is b
+        q.check_invariants()
+
+    def test_unblock_promotes_highestp(self):
+        q, (a, b, c) = self.build("brr")
+        q.unblock(a)
+        assert q.select() is a
+        q.check_invariants()
+
+    def test_unblock_lower_does_not_promote(self):
+        q, (a, b, c) = self.build("rrb")
+        q.unblock(c)
+        assert q.select() is a
+
+    def test_remove_highestp(self):
+        q, (a, b, c) = self.build("rrr")
+        q.remove(a)
+        assert q.select() is b
+        assert len(q) == 2
+        q.check_invariants()
+
+    def test_reposition_after_key_change(self):
+        q, (a, b, c) = self.build("rrr")
+        c.effective_key = (0, c.name)
+        q.reposition(c)
+        assert q.select() is c
+        q.check_invariants()
+
+    def test_swap_positions_exchanges_keys_and_nodes(self):
+        """The Section 6.2 place-holder trick."""
+        q, (a, b, c) = self.build("rbr", keys=(1, 2, 3))
+        # c (low prio, ready) inherits b's position/priority; b is the
+        # blocked place-holder.
+        q.swap_positions(c, b)
+        assert [t.name for t in q] == ["t0", "t2", "t1"]
+        assert c.effective_key == (2, "t1")
+        assert b.effective_key == (3, "t2")
+        q.check_invariants()
+        # Swap back restores everything.
+        q.swap_positions(c, b)
+        assert [t.name for t in q] == ["t0", "t1", "t2"]
+        assert c.effective_key == (3, "t2")
+        q.check_invariants()
+
+    def test_swap_updates_highestp(self):
+        q, (a, b, c) = self.build("brb", keys=(1, 2, 3))
+        # b is the only ready task; swap b with blocked a above it.
+        q.swap_positions(b, a)
+        assert q.select() is b
+        q.check_invariants()
+
+    def test_move_before(self):
+        q, (a, b, c) = self.build("rrr")
+        q.move_before(c, a)
+        assert [t.name for t in q] == ["t2", "t0", "t1"]
+        assert c.effective_key == a.effective_key
+        assert q.select() is c
+
+    def test_iteration_order_is_priority_order(self):
+        q, entries = self.build("rrr", keys=(10, 20, 30))
+        assert q.tasks() == entries
+
+
+class TestReadyHeap:
+    def test_select_highest_priority_ready(self):
+        q = ReadyHeap()
+        a, b = ent("a", 2, ready=True), ent("b", 1, ready=True)
+        q.add(a)
+        q.add(b)
+        assert q.select() is b
+
+    def test_block_removes_from_heap(self):
+        q = ReadyHeap()
+        a, b = ent("a", 1, ready=True), ent("b", 2, ready=True)
+        q.add(a)
+        q.add(b)
+        q.block(a)
+        assert q.select() is b
+
+    def test_unblock_inserts(self):
+        q = ReadyHeap()
+        a = ent("a", 1)
+        q.add(a)
+        assert q.select() is None
+        q.unblock(a)
+        assert q.select() is a
+
+    def test_membership(self):
+        q = ReadyHeap()
+        a = ent("a", 1, ready=True)
+        q.add(a)
+        assert a in q
+        q.remove(a)
+        assert a not in q
+
+
+# ----------------------------------------------------------------------
+# Property-based: random op sequences keep the SortedQueue invariants
+# and make it agree with a naive reference model.
+# ----------------------------------------------------------------------
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(["block", "unblock", "select", "swap"]),
+              st.integers(min_value=0, max_value=7),
+              st.integers(min_value=0, max_value=7)),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    ready=st.lists(st.booleans(), min_size=1, max_size=8),
+    ops=ops_strategy,
+)
+def test_sorted_queue_random_ops_keep_invariants(ready, ops):
+    q = SortedQueue()
+    entries = []
+    for i, r in enumerate(ready):
+        e = ent(f"t{i}", i, ready=r)
+        q.add(e)
+        entries.append(e)
+    n = len(entries)
+    for op, i, j in ops:
+        a, b = entries[i % n], entries[j % n]
+        if op == "block" and a.ready:
+            q.block(a)
+        elif op == "unblock" and not a.ready:
+            q.unblock(a)
+        elif op == "select":
+            selected = q.select()
+            ready_tasks = [t for t in q if t.ready]
+            if ready_tasks:
+                assert selected is ready_tasks[0]
+            else:
+                assert selected is None
+        elif op == "swap" and a is not b:
+            q.swap_positions(a, b)
+        q.check_invariants()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=10),
+    flips=st.lists(st.integers(min_value=0, max_value=9), max_size=40),
+)
+def test_ready_heap_matches_reference(keys, flips):
+    heap = ReadyHeap()
+    entries = []
+    for i, key in enumerate(keys):
+        e = ent(f"t{i}", (key, i), ready=True)
+        heap.add(e)
+        entries.append(e)
+    for flip in flips:
+        e = entries[flip % len(entries)]
+        if e.ready:
+            heap.block(e)
+        else:
+            heap.unblock(e)
+        ready = [t for t in entries if t.ready]
+        expected = min(ready, key=lambda t: t.effective_key) if ready else None
+        assert heap.select() is expected

@@ -1,0 +1,44 @@
+"""Smoke tests for the command-line reproduction harness."""
+
+import pytest
+
+from repro import reproduce
+
+
+@pytest.mark.parametrize(
+    "target", ["table1", "table2", "table3", "figure2", "cyclic", "ipc"]
+)
+def test_cheap_targets_run(target, capsys):
+    assert reproduce.main([target, "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "done in" in out
+    assert len(out) > 100
+
+
+def test_figure11_quick(capsys):
+    assert reproduce.main(["figure11", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "DP queue" in out and "FP queue" in out
+    assert "29.4" in out  # the flat FP line
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(SystemExit):
+        reproduce.main(["figure99"])
+
+
+def test_default_runs_everything_quick_is_not_tested_here():
+    """Running all targets takes minutes; covered by the benchmarks."""
+    assert set(reproduce.TARGETS) >= {
+        "table1",
+        "table2",
+        "table3",
+        "figure2",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure11",
+        "ipc",
+        "cyclic",
+        "footprint",
+    }

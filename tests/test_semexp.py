@@ -1,0 +1,100 @@
+"""Tests for the Figure 11 semaphore-overhead experiment.
+
+These assert the paper's published Section 6.4 numbers, which our cost
+model is calibrated to reproduce exactly (see
+``repro.core.overhead``'s module docstring).
+"""
+
+import pytest
+
+from repro.sim.semexp import figure11_series, measure_pair_overhead
+from repro.timeunits import us
+
+
+class TestCalibrationPoints:
+    def test_dp_standard_at_15_is_39_3us(self):
+        result = measure_pair_overhead("dp", "standard", 15)
+        assert result.overhead_ns == us(39.3)
+
+    def test_dp_emeralds_at_15_is_28_3us(self):
+        result = measure_pair_overhead("dp", "emeralds", 15)
+        assert result.overhead_ns == us(28.3)
+
+    def test_dp_saving_11us_28_percent(self):
+        """'For a typical DP queue length of 15, our scheme gives
+        savings of 11 us over the standard implementation (a 28%
+        improvement)'."""
+        std = measure_pair_overhead("dp", "standard", 15)
+        new = measure_pair_overhead("dp", "emeralds", 15)
+        saving = std.overhead_ns - new.overhead_ns
+        assert saving == us(11)
+        assert saving / std.overhead_ns == pytest.approx(0.28, abs=0.003)
+
+    def test_fp_emeralds_constant_29_4us(self):
+        """'the acquire/release overhead stays constant at 29.4 us'."""
+        values = {measure_pair_overhead("fp", "emeralds", n).overhead_ns
+                  for n in (3, 10, 15, 25, 30)}
+        assert values == {us(29.4)}
+
+    def test_fp_saving_at_15_is_26_percent(self):
+        """'For an FP queue length of 15, this is an improvement of
+        10.4 us or 26%'."""
+        std = measure_pair_overhead("fp", "standard", 15)
+        new = measure_pair_overhead("fp", "emeralds", 15)
+        saving = std.overhead_ns - new.overhead_ns
+        assert saving == us(10.4)
+        assert saving / std.overhead_ns == pytest.approx(0.26, abs=0.005)
+
+
+class TestShapes:
+    def test_dp_standard_slope_twice_new_slope(self):
+        """'the measurements for the standard scheme have a slope twice
+        that of our new scheme' (Figure 11)."""
+        rows = figure11_series("dp", lengths=(5, 25))
+        (n0, std0, new0), (n1, std1, new1) = rows
+        std_slope = (std1 - std0) / (n1 - n0)
+        new_slope = (new1 - new0) / (n1 - n0)
+        assert std_slope == pytest.approx(2 * new_slope, rel=1e-6)
+        # Both slopes come from t_s = 0.25 us per task per switch.
+        assert new_slope == pytest.approx(250, rel=1e-6)
+
+    def test_dp_savings_grow_with_queue_length(self):
+        """'these savings grow even larger as the DP queue's length
+        increases'."""
+        savings = [
+            measure_pair_overhead("dp", "standard", n).overhead_ns
+            - measure_pair_overhead("dp", "emeralds", n).overhead_ns
+            for n in (5, 15, 30)
+        ]
+        assert savings[0] < savings[1] < savings[2]
+
+    def test_fp_standard_linear(self):
+        rows = figure11_series("fp", lengths=(5, 15, 25))
+        diffs = [rows[1][1] - rows[0][1], rows[2][1] - rows[1][1]]
+        assert diffs[0] == diffs[1]  # exactly linear
+        assert diffs[0] > 0
+
+    def test_exactly_one_switch_saved(self):
+        new = measure_pair_overhead("dp", "emeralds", 10)
+        assert new.saved_switches == 1
+        std = measure_pair_overhead("dp", "standard", 10)
+        assert std.saved_switches == 0
+        # Standard performs C1, C2, C3 (Figure 7); EMERALDS performs a
+        # single switch at release time.
+        assert std.context_switches == 3
+        assert new.context_switches == 1
+
+
+class TestExperimentRobustness:
+    def test_queue_length_must_cover_scenario_threads(self):
+        with pytest.raises(ValueError):
+            measure_pair_overhead("dp", "standard", 2)
+
+    def test_unknown_queue_kind(self):
+        with pytest.raises(ValueError):
+            measure_pair_overhead("ring", "standard", 5)
+
+    def test_series_rows_structure(self):
+        rows = figure11_series("dp", lengths=(4, 6))
+        assert [r[0] for r in rows] == [4, 6]
+        assert all(len(r) == 3 for r in rows)

@@ -1,0 +1,73 @@
+"""Tests for the sporadic minimum-inter-arrival admission guard."""
+
+import pytest
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.kernel.kernel import Kernel, KernelError
+from repro.kernel.program import Compute, Program
+from repro.timeunits import ms, us
+
+
+def sporadic_kernel(mit=ms(10)):
+    k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+    k.create_thread(
+        "sp", Program([Compute(us(100))]), priority=1, deadline=ms(5),
+        min_interarrival=mit,
+    )
+    return k
+
+
+class TestSporadicAdmission:
+    def test_first_activation_accepted(self):
+        k = sporadic_kernel()
+        assert k.activate("sp") is True
+        trace = k.run_until(ms(1))
+        assert len(trace.jobs_of("sp")) == 1
+
+    def test_too_fast_activation_rejected(self):
+        k = sporadic_kernel(mit=ms(10))
+        k.activate("sp")
+        k.run_until(ms(2))
+        assert k.activate("sp") is False
+        trace = k.run_until(ms(5))
+        assert len(trace.jobs_of("sp")) == 1
+        assert any(kind == "sporadic-rejected" for _, kind, _ in trace.events)
+
+    def test_activation_after_mit_accepted(self):
+        k = sporadic_kernel(mit=ms(10))
+        k.activate("sp")
+        k.run_until(ms(10))
+        assert k.activate("sp") is True
+        trace = k.run_until(ms(15))
+        assert len(trace.jobs_of("sp")) == 2
+
+    def test_burst_via_interrupts_is_throttled(self):
+        k = sporadic_kernel(mit=ms(10))
+        for t in range(0, 5):
+            k.activate("sp", at=ms(t))
+        trace = k.run_until(ms(20))
+        assert len(trace.jobs_of("sp")) == 1
+
+    def test_mit_on_periodic_rejected(self):
+        k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        with pytest.raises(KernelError):
+            k.create_thread(
+                "p", Program([Compute(1)]), period=ms(10), min_interarrival=ms(5)
+            )
+
+    def test_nonpositive_mit_rejected(self):
+        k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        with pytest.raises(KernelError):
+            k.create_thread(
+                "sp", Program([Compute(1)]), priority=1, min_interarrival=0
+            )
+
+    def test_no_mit_means_no_throttling(self):
+        k = Kernel(EDFScheduler(ZERO_OVERHEAD))
+        k.create_thread("sp", Program([Compute(us(10))]), priority=1)
+        k.activate("sp")
+        k.run_until(us(50))
+        assert k.activate("sp") is True
+        trace = k.run_until(ms(1))
+        assert len(trace.jobs_of("sp")) == 2

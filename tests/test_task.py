@@ -1,0 +1,121 @@
+"""Unit tests for the task model (TaskSpec, Workload, Table 2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.task import TaskSpec, Workload, table2_workload
+from repro.timeunits import ms
+
+
+def make(name="t", period=ms(10), wcet=ms(1), **kw):
+    return TaskSpec(name=name, period=period, wcet=wcet, **kw)
+
+
+class TestTaskSpec:
+    def test_deadline_defaults_to_period(self):
+        task = make(period=ms(7))
+        assert task.deadline == ms(7)
+
+    def test_explicit_deadline_kept(self):
+        task = make(period=ms(10), deadline=ms(4))
+        assert task.deadline == ms(4)
+
+    def test_utilization(self):
+        task = make(period=ms(10), wcet=ms(2))
+        assert task.utilization == pytest.approx(0.2)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            make(period=0)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(ValueError):
+            make(wcet=-1)
+
+    def test_rejects_negative_phase(self):
+        with pytest.raises(ValueError):
+            make(phase=-5)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            make(deadline=0)
+
+    def test_scaled_multiplies_wcet_only(self):
+        task = make(period=ms(10), wcet=ms(2))
+        scaled = task.scaled(1.5)
+        assert scaled.wcet == ms(3)
+        assert scaled.period == task.period
+        assert scaled.deadline == task.deadline
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make().scaled(-0.1)
+
+    def test_rm_key_orders_by_period(self):
+        short = make("a", period=ms(5))
+        long = make("b", period=ms(9))
+        assert short.rm_key < long.rm_key
+
+    @given(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_scaled_never_negative(self, factor):
+        assert make().scaled(factor).wcet >= 0
+
+
+class TestWorkload:
+    def test_sorted_rm_order(self):
+        w = Workload([make("slow", period=ms(100)), make("fast", period=ms(5))])
+        assert w.names() == ["fast", "slow"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workload([make("x"), make("x")])
+
+    def test_utilization_sums(self):
+        w = Workload(
+            [make("a", period=ms(10), wcet=ms(1)), make("b", period=ms(20), wcet=ms(1))]
+        )
+        assert w.utilization == pytest.approx(0.15)
+
+    def test_indexing_and_iteration(self):
+        w = Workload([make("a", period=ms(5)), make("b", period=ms(10))])
+        assert len(w) == 2
+        assert w[0].name == "a"
+        assert [t.name for t in w] == ["a", "b"]
+
+    def test_scaled_scales_every_task(self):
+        w = Workload([make("a", wcet=ms(1)), make("b", period=ms(20), wcet=ms(2))])
+        scaled = w.scaled(2.0)
+        assert scaled.utilization == pytest.approx(2 * w.utilization)
+
+    def test_period_division_preserves_utilization(self):
+        w = Workload(
+            [make("a", period=ms(10), wcet=ms(2)), make("b", period=ms(30), wcet=ms(3))]
+        )
+        divided = w.with_periods_divided(2)
+        assert divided.utilization == pytest.approx(w.utilization, rel=1e-6)
+        assert divided[0].period == ms(5)
+
+    def test_period_division_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Workload([make()]).with_periods_divided(0)
+
+
+class TestTable2Workload:
+    """The reconstructed Table 2 workload must satisfy every property
+    the paper states about it."""
+
+    def test_ten_tasks(self):
+        assert len(table2_workload()) == 10
+
+    def test_utilization_near_0_88(self):
+        assert table2_workload().utilization == pytest.approx(0.88, abs=0.01)
+
+    def test_mix_of_short_and_long_periods(self):
+        w = table2_workload()
+        periods_ms = [t.period / 1e6 for t in w]
+        assert min(periods_ms) <= 9
+        assert max(periods_ms) >= 100
+
+    def test_tau5_is_fifth_in_rm_order(self):
+        assert table2_workload().names()[4] == "tau5"

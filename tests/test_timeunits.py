@@ -1,0 +1,43 @@
+"""Unit tests for the integer time helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timeunits import ms, seconds, to_ms, to_s, to_us, us
+
+
+def test_us_converts_to_nanoseconds():
+    assert us(1) == 1_000
+    assert us(0.25) == 250
+    assert us(1.2) == 1_200
+
+
+def test_ms_converts_to_nanoseconds():
+    assert ms(1) == 1_000_000
+    assert ms(0.5) == 500_000
+
+
+def test_seconds_converts_to_nanoseconds():
+    assert seconds(1) == 1_000_000_000
+    assert seconds(0.001) == ms(1)
+
+
+def test_rounding_is_nearest():
+    assert us(0.0004) == 0
+    assert us(0.0006) == 1
+
+
+def test_round_trips():
+    assert to_us(us(17.5)) == 17.5
+    assert to_ms(ms(42)) == 42
+    assert to_s(seconds(3)) == 3
+
+
+@given(st.integers(min_value=0, max_value=10**9))
+def test_ms_us_consistency(value):
+    assert ms(value) == us(value) * 1_000
+
+
+@given(st.floats(min_value=0, max_value=1e6, allow_nan=False))
+def test_to_us_inverts_us_within_rounding(value):
+    assert abs(to_us(us(value)) - value) <= 0.0005

@@ -1,0 +1,39 @@
+"""Soundness cross-validation: analytic feasibility vs the live kernel."""
+
+import pytest
+
+from repro.core.overhead import OverheadModel
+from repro.core.task import table2_workload
+from repro.sim.validate import validate_breakdown
+from repro.sim.workload import generate_workload
+
+
+class TestValidateBreakdown:
+    @pytest.mark.parametrize("policy", ["edf", "rm"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_feasible_side_never_misses(self, policy, seed):
+        w = generate_workload(6, seed=seed, utilization=0.5)
+        result = validate_breakdown(w, policy)
+        assert result.sound, (
+            f"analytic breakdown ({result.breakdown_utilization:.3f}) claimed "
+            f"feasible at scale {result.feasible_scale_tested:.3f} but the "
+            f"kernel missed {result.violations} deadlines"
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_csd_feasible_side_never_misses(self, seed):
+        w = generate_workload(5, seed=seed, utilization=0.5)
+        result = validate_breakdown(w, "csd-2")
+        assert result.sound
+
+    def test_table2_validates_under_edf(self):
+        result = validate_breakdown(table2_workload(), "edf")
+        assert result.sound
+        assert result.breakdown_utilization > 0.9
+
+    def test_result_fields(self):
+        w = generate_workload(4, seed=3, utilization=0.4)
+        result = validate_breakdown(w, "rm", model=OverheadModel())
+        assert 0 < result.feasible_scale_tested
+        assert result.horizon_ns > 0
+        assert result.policy == "rm"

@@ -1,0 +1,77 @@
+"""Tests for the Section 5.7 random workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.workload import PERIOD_CLASSES_MS, generate_base_workloads, generate_workload
+from repro.timeunits import ms
+
+
+class TestGenerateWorkload:
+    def test_task_count(self):
+        assert len(generate_workload(17, seed=1)) == 17
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            generate_workload(0)
+
+    def test_deterministic_for_seed(self):
+        a = generate_workload(10, seed=42)
+        b = generate_workload(10, seed=42)
+        assert [(t.period, t.wcet) for t in a] == [(t.period, t.wcet) for t in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_workload(10, seed=1)
+        b = generate_workload(10, seed=2)
+        assert [(t.period, t.wcet) for t in a] != [(t.period, t.wcet) for t in b]
+
+    def test_periods_from_the_three_classes(self):
+        w = generate_workload(200, seed=3)
+        lo = min(c[0] for c in PERIOD_CLASSES_MS)
+        hi = max(c[1] for c in PERIOD_CLASSES_MS)
+        for t in w:
+            assert ms(lo) <= t.period <= ms(hi)
+
+    def test_all_classes_represented(self):
+        """With 200 tasks each class (1/3 probability) must appear."""
+        w = generate_workload(200, seed=4)
+        hits = [0, 0, 0]
+        for t in w:
+            for k, (lo, hi) in enumerate(PERIOD_CLASSES_MS):
+                if ms(lo) <= t.period <= ms(hi):
+                    hits[k] += 1
+                    break
+        assert all(h > 20 for h in hits)
+
+    def test_target_utilization_respected(self):
+        w = generate_workload(30, seed=5, utilization=0.5)
+        assert w.utilization == pytest.approx(0.5, rel=0.1)
+
+    def test_wcet_never_exceeds_period(self):
+        w = generate_workload(50, seed=6, utilization=0.9)
+        for t in w:
+            assert t.wcet <= t.period
+
+    def test_blocking_calls_half_the_tasks(self):
+        w = generate_workload(10, seed=7)
+        assert sum(1 for t in w if t.blocking_calls) == 5
+
+    @given(st.integers(1, 40), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_valid_workloads_for_any_seed(self, n, seed):
+        w = generate_workload(n, seed=seed)
+        assert len(w) == n
+        assert 0 < w.utilization <= 1.0
+
+
+class TestGenerateBaseWorkloads:
+    def test_count(self):
+        assert len(generate_base_workloads(5, 7, seed=0)) == 7
+
+    def test_prefix_stability(self):
+        """Workload k is the same regardless of how many are requested."""
+        few = generate_base_workloads(8, 3, seed=9)
+        many = generate_base_workloads(8, 10, seed=9)
+        for a, b in zip(few, many):
+            assert [(t.period, t.wcet) for t in a] == [(t.period, t.wcet) for t in b]
