@@ -5,6 +5,7 @@ from repro.analysis.metrics import (
     ResponseStats,
     cpu_breakdown,
     miss_ratio,
+    recovery_time_ns,
     response_stats,
 )
 from repro.analysis.tables import ascii_series, format_table
@@ -16,5 +17,6 @@ __all__ = [
     "cpu_breakdown",
     "format_table",
     "miss_ratio",
+    "recovery_time_ns",
     "response_stats",
 ]

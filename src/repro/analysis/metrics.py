@@ -13,7 +13,14 @@ from typing import Dict, Optional
 
 from repro.sim.trace import IDLE, KERNEL, Trace
 
-__all__ = ["ResponseStats", "CpuBreakdown", "response_stats", "cpu_breakdown", "miss_ratio"]
+__all__ = [
+    "ResponseStats",
+    "CpuBreakdown",
+    "response_stats",
+    "cpu_breakdown",
+    "miss_ratio",
+    "recovery_time_ns",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +72,25 @@ def miss_ratio(trace: Trace, now: int, thread: Optional[str] = None) -> float:
     violations = {id(j) for j in trace.deadline_violations(now)}
     missed = sum(1 for j in jobs if id(j) in violations)
     return missed / len(jobs)
+
+
+def recovery_time_ns(trace: Trace, now: int, burst_end: int) -> int:
+    """How long after ``burst_end`` the system kept violating deadlines.
+
+    Returns the distance from ``burst_end`` to the *last* deadline
+    violation instant -- a late job counts at its completion, an
+    unfinished or aborted overdue job at its deadline.  Zero means
+    every violation (if any) happened during the burst: the kernel was
+    back to a zero-miss steady state the moment the faults stopped.
+    """
+    latest: Optional[int] = None
+    for job in trace.deadline_violations(now):
+        instant = job.completion if job.completion is not None else job.deadline
+        if instant is None:
+            continue
+        if instant > burst_end and (latest is None or instant > latest):
+            latest = instant
+    return 0 if latest is None else latest - burst_end
 
 
 @dataclass(frozen=True)

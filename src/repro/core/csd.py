@@ -36,6 +36,7 @@ class CSDScheduler(Scheduler):
         self,
         model: Optional[OverheadModel] = None,
         dp_queue_count: int = 1,
+        shed_overload: bool = False,
     ):
         super().__init__(model)
         if dp_queue_count < 0:
@@ -44,6 +45,11 @@ class CSDScheduler(Scheduler):
             UnsortedQueue(f"DP{i + 1}") for i in range(dp_queue_count)
         ]
         self.fp_queue = SortedQueue("FP")
+        #: Graceful degradation: while a band overruns, releases of its
+        #: lowest-criticality tasks are shed (see :meth:`admit_release`).
+        self.shed_overload = shed_overload
+        #: Releases refused by the shedding policy, by task name.
+        self.shed_counts: Dict[str, int] = {}
         # PI bookkeeping: tasks temporarily migrated to a higher queue,
         # mapped to their home queue index.
         self._pi_home: Dict[Schedulable, int] = {}
@@ -114,6 +120,41 @@ class CSDScheduler(Scheduler):
 
     def check_invariants(self) -> None:
         self.fp_queue.check_invariants()
+
+    # ------------------------------------------------------------------
+    # overload shedding (graceful degradation, beyond the paper)
+    # ------------------------------------------------------------------
+    def admit_release(self, task: Schedulable, now: int) -> bool:
+        """Shed releases of low-criticality tasks in an overrunning band.
+
+        A band is *overrunning* when some other task in it is ready
+        with an expired deadline, or is so far behind that releases
+        have queued up behind its unfinished job.  While that holds,
+        releases of tasks strictly less critical than the worst
+        overrunner are skipped, turning the band-isolation observations
+        of ``tests/test_overload.py`` into enforced guarantees: the
+        most critical tasks of the band keep their slack instead of
+        queueing behind overload-inflated EDF backlogs.
+        """
+        if not self.shed_overload:
+            return True
+        queue = self._queue_at(self.queue_index_of(task))
+        overrun_criticality: Optional[int] = None
+        for other in queue:
+            if other is task or not other.ready:
+                continue
+            late = other.abs_deadline is not None and other.abs_deadline < now
+            backlog = getattr(other, "pending_releases", 0) > 0
+            if late or backlog:
+                criticality = getattr(other, "criticality", 0)
+                if overrun_criticality is None or criticality > overrun_criticality:
+                    overrun_criticality = criticality
+        if overrun_criticality is None:
+            return True
+        if getattr(task, "criticality", 0) >= overrun_criticality:
+            return True
+        self.shed_counts[task.name] = self.shed_counts.get(task.name, 0) + 1
+        return False
 
     # ------------------------------------------------------------------
     # scheduling primitives (cost cases of Section 5.4 / Table 3)

@@ -140,6 +140,19 @@ class Scheduler(ABC):
         return cost
 
     # ------------------------------------------------------------------
+    # overload shedding
+    # ------------------------------------------------------------------
+    def admit_release(self, task: Schedulable, now: int) -> bool:
+        """Admission check the kernel runs at every job release.
+
+        The default policy admits everything (the paper's kernel never
+        refuses work).  Schedulers implementing graceful degradation
+        (``CSDScheduler(shed_overload=True)``) override this to skip
+        releases of low-criticality tasks while their band overruns.
+        """
+        return True
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def priority_rank(self, task: Schedulable) -> Tuple:

@@ -1,0 +1,26 @@
+"""Deterministic fault injection and overload protection (extension).
+
+The paper's evaluation stops at the breakdown-utilization point; an
+embedded control kernel must also behave predictably *past* it and in
+the presence of hardware faults.  This package injects those scenarios
+into the discrete-event timeline, reproducibly:
+
+* :mod:`repro.faults.plan` -- a seeded :class:`FaultPlan` naming every
+  fault (WCET overrun, clock/timer jitter, spurious/dropped interrupt,
+  task crash, lost/corrupted fieldbus frame) with its injection time;
+* :mod:`repro.faults.injector` -- a :class:`FaultInjector` that arms a
+  plan against a live kernel (and optionally its fieldbus);
+* :mod:`repro.faults.chaos` -- the chaos harness sweeping fault rates
+  and reporting deadline-miss ratio and recovery time.
+
+Same seed + same plan => byte-identical traces (asserted by
+``tests/test_faults.py``); the kernel-side defenses these faults
+exercise live in :mod:`repro.kernel.kernel` (execution-time budgets,
+deadline-miss handlers, bounded restart) and :mod:`repro.core.csd`
+(overload shedding).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, Fault, FaultPlan
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultInjector"]

@@ -1,0 +1,160 @@
+"""Chaos harness: a reference workload run under seeded fault storms.
+
+Builds a four-task control workload (a critical control loop, a sensor
+task, a logger, and a bulk background task), arms a generated
+:class:`~repro.faults.plan.FaultPlan` against it, and reports how the
+kernel's overload protection held up: deadline-miss ratio, on-time
+service ratio, aborted jobs, and post-burst recovery time.  The
+:mod:`benchmarks.bench_faults` sweep and the ``python -m
+repro.reproduce faults`` subcommand are both thin wrappers around
+:func:`run_chaos`.
+
+Everything is a pure function of ``(seed, duration, rates,
+defenses)``: :attr:`ChaosResult.trace_signature` is asserted stable by
+the determinism tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.metrics import miss_ratio, recovery_time_ns
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Compute, Program
+from repro.timeunits import ms
+
+__all__ = ["ChaosResult", "build_chaos_kernel", "run_chaos", "WORKLOAD"]
+
+#: The reference workload: (name, period ns, wcet ns, criticality).
+#: U = 0.2 + 0.2 + 0.2 + 0.2 = 0.8 -- comfortably feasible under EDF,
+#: so every miss in a chaos run is caused by the injected faults.
+WORKLOAD: Tuple[Tuple[str, int, int, int], ...] = (
+    ("ctrl", ms(5), ms(1), 2),
+    ("sense", ms(10), ms(2), 1),
+    ("log", ms(20), ms(4), 0),
+    ("bulk", ms(40), ms(8), 0),
+)
+
+#: Budget headroom over the declared WCET (enforcement threshold).
+BUDGET_FACTOR = 1.5
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """Outcome of one chaos run."""
+
+    seed: int
+    duration_ns: int
+    defenses: bool
+    faults_planned: int
+    faults_injected: Dict[str, int]
+    miss_ratio: float
+    #: Per-thread on-time completions / expected releases.  Unlike the
+    #: miss ratio this punishes shed and backed-off releases too: work
+    #: that never became a job still counts against service.
+    service_ratio: Dict[str, float]
+    jobs_aborted: int
+    threads_dead: Tuple[str, ...]
+    recovery_ns: int
+    #: Stable fingerprint of the full trace (events + job records);
+    #: equal runs are byte-identical, across processes too (sha256,
+    #: not ``hash()``, which string-salts per process).
+    trace_signature: str = field(repr=False, default="")
+
+
+def build_chaos_kernel(defenses: bool = True) -> Kernel:
+    """The reference workload on an EDF kernel, defended or bare.
+
+    With ``defenses`` each task gets a per-job budget of
+    ``BUDGET_FACTOR * wcet`` (action ``suspend_job``) and a bounded
+    restart policy (3 restarts, one-period initial back-off).
+    """
+    kernel = Kernel(scheduler=EDFScheduler(ZERO_OVERHEAD))
+    for name, period, wcet, criticality in WORKLOAD:
+        kernel.create_thread(
+            name,
+            Program([Compute(wcet)]),
+            period=period,
+            deadline=period,
+            criticality=criticality,
+        )
+        if defenses:
+            kernel.set_budget(
+                name, round(BUDGET_FACTOR * wcet), action="suspend_job"
+            )
+            kernel.set_restart_policy(name, max_restarts=3, backoff_ns=period)
+    return kernel
+
+
+def run_chaos(
+    seed: int,
+    duration_ns: int = ms(1000),
+    *,
+    wcet_overrun_rate: float = 0.0,
+    crash_rate: float = 0.0,
+    clock_jitter_rate: float = 0.0,
+    defenses: bool = True,
+    burst_end_ns: Optional[int] = None,
+    plan: Optional[FaultPlan] = None,
+) -> ChaosResult:
+    """One seeded chaos run; see the module docstring.
+
+    ``plan`` overrides the generated plan (rates are then ignored).
+    ``burst_end_ns`` marks where the fault burst nominally stops for
+    the recovery-time metric; it defaults to the last planned fault.
+    """
+    kernel = build_chaos_kernel(defenses)
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            duration_ns,
+            threads=[w[0] for w in WORKLOAD],
+            wcet_overrun_rate=wcet_overrun_rate,
+            crash_rate=crash_rate,
+            clock_jitter_rate=clock_jitter_rate,
+        )
+    injector = FaultInjector(kernel, plan).install()
+    trace = kernel.run_until(duration_ns)
+    if burst_end_ns is None:
+        burst_end_ns = max((f.time for f in plan), default=0)
+
+    service: Dict[str, float] = {}
+    for name, period, _wcet, _crit in WORKLOAD:
+        expected = duration_ns // period
+        on_time = sum(
+            1
+            for j in trace.jobs_of(name)
+            if j.completion is not None
+            and (j.deadline is None or j.completion <= j.deadline)
+        )
+        service[name] = on_time / expected if expected else 0.0
+
+    fingerprint = (
+        tuple(trace.events),
+        tuple(
+            (j.thread, j.release, j.deadline, j.completion, j.aborted)
+            for j in trace.jobs
+        ),
+    )
+    signature = hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+    return ChaosResult(
+        seed=seed,
+        duration_ns=duration_ns,
+        defenses=defenses,
+        faults_planned=len(plan),
+        faults_injected=dict(injector.injected),
+        miss_ratio=miss_ratio(trace, kernel.now),
+        service_ratio=service,
+        jobs_aborted=sum(t.jobs_aborted for t in kernel.threads.values()),
+        threads_dead=tuple(
+            sorted(t.name for t in kernel.threads.values() if t.dead)
+        ),
+        recovery_ns=recovery_time_ns(trace, kernel.now, burst_end_ns),
+        trace_signature=signature,
+    )

@@ -1,0 +1,201 @@
+"""Fault plans: seeded, reproducible schedules of injected faults.
+
+A :class:`FaultPlan` is pure data -- a sorted tuple of :class:`Fault`
+records -- so the same plan can be armed against two independent
+kernels and produce byte-identical traces.  Plans come from either the
+seeded generator (:meth:`FaultPlan.generate`, exponential arrivals per
+fault class like :class:`~repro.kernel.devices.AperiodicDevice`) or
+explicit construction in tests.
+
+Fault kinds
+-----------
+
+``wcet_overrun``
+    The next ``Compute`` step of thread ``target`` starting at or
+    after ``time`` runs ``magnitude`` ns longer than declared.
+``clock_jitter``
+    ``magnitude`` ns of timer-tick jitter.  With an empty target the
+    CPU loses the time in kernel context at ``time``; with a timer
+    name the armed firing of that software timer slips by
+    ``magnitude`` ns.
+``spurious_irq``
+    Interrupt vector ``target`` fires at ``time`` with no device
+    behind it.
+``dropped_irq``
+    Vector ``target`` is masked during ``[time, time + magnitude)``;
+    interrupts arriving meanwhile are lost.
+``crash``
+    Thread ``target`` dies at ``time`` (mid-job included); the
+    kernel's restart policy decides what happens next.
+``frame_drop`` / ``frame_corrupt``
+    The first fieldbus frame whose transmission starts at or after
+    ``time`` is lost on the wire / delivered with a failing CRC.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Sequence, Tuple
+
+__all__ = ["FAULT_KINDS", "Fault", "FaultPlan"]
+
+FAULT_KINDS = (
+    "wcet_overrun",
+    "clock_jitter",
+    "spurious_irq",
+    "dropped_irq",
+    "crash",
+    "frame_drop",
+    "frame_corrupt",
+)
+
+NS_PER_S = 1_000_000_000
+
+
+@dataclass(frozen=True, order=True)
+class Fault:
+    """One injected fault: ``kind`` hits ``target`` at virtual ``time``."""
+
+    time: int
+    kind: str
+    target: str = ""
+    magnitude: int = 0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be non-negative (got {self.time})")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.magnitude < 0:
+            raise ValueError(f"fault magnitude must be non-negative ({self})")
+
+
+class FaultPlan:
+    """An immutable, time-sorted schedule of faults."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._faults: Tuple[Fault, ...] = tuple(sorted(faults))
+        for fault in self._faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"not a Fault: {fault!r}")
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultPlan) and self._faults == other._faults
+
+    def __hash__(self) -> int:
+        return hash(self._faults)
+
+    def by_kind(self, kind: str) -> Tuple[Fault, ...]:
+        """All faults of one kind, in time order."""
+        if kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {kind!r}")
+        return tuple(f for f in self._faults if f.kind == kind)
+
+    def signature(self) -> Tuple[Tuple[int, str, str, int], ...]:
+        """Hashable fingerprint used by determinism assertions."""
+        return tuple((f.time, f.kind, f.target, f.magnitude) for f in self._faults)
+
+    def __repr__(self) -> str:
+        counts: Dict[str, int] = {}
+        for fault in self._faults:
+            counts[fault.kind] = counts.get(fault.kind, 0) + 1
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"<FaultPlan {len(self._faults)} faults: {summary or 'none'}>"
+
+    # ------------------------------------------------------------------
+    # seeded generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: int,
+        *,
+        threads: Sequence[str] = (),
+        vectors: Sequence[int] = (),
+        wcet_overrun_rate: float = 0.0,
+        wcet_overrun_ns: int = 2_000_000,
+        clock_jitter_rate: float = 0.0,
+        clock_jitter_ns: int = 50_000,
+        spurious_irq_rate: float = 0.0,
+        dropped_irq_rate: float = 0.0,
+        dropped_irq_window_ns: int = 1_000_000,
+        crash_rate: float = 0.0,
+        frame_drop_rate: float = 0.0,
+        frame_corrupt_rate: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw a plan with exponential per-kind arrival processes.
+
+        Rates are faults per virtual *second*; only faults strictly
+        before ``horizon`` (ns) are generated.  Each kind uses its own
+        ``random.Random(f"faultplan:{seed}:{kind}")`` stream, so adding
+        one kind never perturbs another and the plan depends only on
+        ``(seed, horizon, rates, targets)``.
+        """
+        if horizon <= 0:
+            raise ValueError(f"fault horizon must be positive (got {horizon})")
+
+        def overrun(rng: random.Random, t: int) -> Fault:
+            extra = max(1, round(wcet_overrun_ns * rng.uniform(0.5, 1.5)))
+            return Fault(t, "wcet_overrun", rng.choice(list(threads)), extra)
+
+        def jitter(rng: random.Random, t: int) -> Fault:
+            return Fault(t, "clock_jitter", "", clock_jitter_ns)
+
+        def spurious(rng: random.Random, t: int) -> Fault:
+            return Fault(t, "spurious_irq", str(rng.choice(list(vectors))))
+
+        def dropped(rng: random.Random, t: int) -> Fault:
+            return Fault(
+                t, "dropped_irq", str(rng.choice(list(vectors))), dropped_irq_window_ns
+            )
+
+        def crash(rng: random.Random, t: int) -> Fault:
+            return Fault(t, "crash", rng.choice(list(threads)))
+
+        def frame_drop(rng: random.Random, t: int) -> Fault:
+            return Fault(t, "frame_drop")
+
+        def frame_corrupt(rng: random.Random, t: int) -> Fault:
+            return Fault(t, "frame_corrupt")
+
+        specs = (
+            ("wcet_overrun", wcet_overrun_rate, overrun, threads),
+            ("clock_jitter", clock_jitter_rate, jitter, None),
+            ("spurious_irq", spurious_irq_rate, spurious, vectors),
+            ("dropped_irq", dropped_irq_rate, dropped, vectors),
+            ("crash", crash_rate, crash, threads),
+            ("frame_drop", frame_drop_rate, frame_drop, None),
+            ("frame_corrupt", frame_corrupt_rate, frame_corrupt, None),
+        )
+        faults = []
+        for kind, rate, make, needs in specs:
+            if rate < 0:
+                raise ValueError(
+                    f"{kind} rate must be non-negative (got {rate})"
+                )
+            if rate == 0:
+                continue
+            if needs is not None and not needs:
+                raise ValueError(
+                    f"{kind} rate is {rate} but no targets were provided"
+                )
+            rng = random.Random(f"faultplan:{seed}:{kind}")
+            t = 0
+            while True:
+                t += max(1, round(rng.expovariate(rate) * NS_PER_S))
+                if t >= horizon:
+                    break
+                faults.append(make(rng, t))
+        return cls(faults)

@@ -63,6 +63,24 @@ class Timer:
             self._armed.cancel()
             self._armed = None
 
+    def delay(self, extra_ns: int) -> None:
+        """Push the next firing ``extra_ns`` later (timer-jitter fault).
+
+        Models a disturbed hardware timer: the armed expiry slips by
+        ``extra_ns`` without changing the nominal interval, so a
+        periodic timer re-arms from the (late) firing instant.  No-op
+        when the timer is not armed.
+        """
+        if extra_ns < 0:
+            raise ValueError("timer delay must be non-negative")
+        if not self.armed or extra_ns == 0:
+            return
+        when = self._armed.time + extra_ns
+        self._armed.cancel()
+        self._armed = self._kernel.schedule_event(
+            when, self._fire, label=f"timer:{self.name}"
+        )
+
     def _fire(self) -> None:
         self._armed = None
         self.fires += 1

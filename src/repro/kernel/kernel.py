@@ -121,6 +121,11 @@ class Kernel:
         self.timers: Dict[str, Timer] = {}
 
         self.running: Optional[Thread] = None
+        #: Armed fault injector (set by ``FaultInjector.install``);
+        #: consulted when a Compute op starts, to stretch its duration.
+        self.fault_injector = None
+        #: Deadline-miss handlers by thread name, fired *at* miss time.
+        self._miss_handlers: Dict[str, Callable] = {}
         #: Semaphore names some program may hold across a blocking
         #: call (fed by the code parser; arms the 6.3.1 registry).
         self._held_across_blocking: set = set()
@@ -184,12 +189,15 @@ class Kernel:
         csd_queue: Optional[int] = None,
         fp_policy: str = "rm",
         min_interarrival: Optional[int] = None,
+        criticality: int = 0,
     ) -> Thread:
         """Create a thread and register it with the scheduler.
 
         Periodic threads (``period`` given) are released automatically
         every period starting at ``phase``; aperiodic threads need an
         explicit ``priority`` and are started via :meth:`activate`.
+        ``criticality`` ranks the thread for overload shedding (higher
+        = more critical; see ``CSDScheduler(shed_overload=True)``).
         """
         if name in self.threads:
             raise KernelError(f"thread {name} already exists")
@@ -225,6 +233,7 @@ class Kernel:
         )
         thread.period_hint = period_hint
         thread.csd_queue = csd_queue
+        thread.criticality = criticality
         if min_interarrival is not None:
             if period is not None:
                 raise KernelError(
@@ -386,6 +395,11 @@ class Kernel:
             return True
         if thread.dead:
             return False
+        if thread.restart_until is not None:
+            if self.now < thread.restart_until:
+                self.trace.note(self.now, "activation-skipped-backoff", thread.name)
+                return False
+            thread.restart_until = None
         if (
             thread.min_interarrival is not None
             and thread.last_activation is not None
@@ -396,10 +410,10 @@ class Kernel:
         thread.last_activation = self.now
         if thread.state == ThreadState.IDLE:
             thread.start_job(self.now)
-            self.trace.job_released(
+            record = self.trace.job_released(
                 thread.name, self.now, thread.abs_deadline, thread.job_no
             )
-            self._arm_deadline_check(thread)
+            self._arm_deadline_check(thread, record)
             self.deliver_unblock(thread)
         else:
             thread.pending_releases += 1
@@ -458,7 +472,23 @@ class Kernel:
                 f"cannot kill {name}: it holds {sorted(thread.held_sems)}"
             )
         thread.dead = True
-        # Purge it from every wait structure.
+        self._detach_from_waits(thread)
+        release_event = self._release_events.pop(name, None)
+        if release_event is not None:
+            release_event.cancel()
+        if thread.ready:
+            self.scheduler.on_block(thread)
+        self.scheduler.remove_task(thread)
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = "dead"
+        self.trace.note(self.now, "kill", name)
+        if self.running is thread:
+            self.running = None
+        self._need_resched = True
+        self._dispatch_if_needed()
+
+    def _detach_from_waits(self, thread: Thread) -> None:
+        """Purge a thread from every kernel wait structure."""
         for sem in self.semaphores.values():
             if thread in sem.waiters:
                 sem.waiters.remove(thread)
@@ -478,19 +508,180 @@ class Kernel:
                 mbox.senders.remove(thread)
         for cv in self.condvars.values():
             cv.waiters = [(t, m) for (t, m) in cv.waiters if t is not thread]
-        release_event = self._release_events.pop(name, None)
-        if release_event is not None:
-            release_event.cancel()
+
+    def _release_held(self, thread: Thread) -> None:
+        """Release every semaphore a dying/aborting thread holds, so
+        its demise cannot strand a critical section."""
+        for sem_name in list(thread.held_sems):
+            self.semaphores[sem_name].release(self, thread)
+
+    # ------------------------------------------------------------------
+    # overload protection: budgets, miss handlers, crash/restart
+    # ------------------------------------------------------------------
+    BUDGET_ACTIONS = ("warn", "suspend_job", "kill", "restart")
+
+    def set_budget(
+        self, name: str, budget_ns: int, action: str = "suspend_job"
+    ) -> None:
+        """Give a thread a per-job execution-time budget.
+
+        The budget counts preemptible execution (``Compute`` and timed
+        ``StateRead`` copies) of the current job.  When it exhausts,
+        ``action`` runs *at the exhaustion instant*:
+
+        * ``warn`` -- trace a ``budget-overrun`` note, keep running;
+        * ``suspend_job`` -- abandon the rest of the job (held
+          semaphores are released); the thread waits for its next
+          release, so one runaway job cannot starve other tasks;
+        * ``kill`` -- remove the thread permanently;
+        * ``restart`` -- abandon the job and apply the thread's
+          restart policy (see :meth:`set_restart_policy`).
+        """
+        thread = self.threads[name]
+        if budget_ns <= 0:
+            raise KernelError(f"{name}: budget must be positive (got {budget_ns})")
+        if action not in self.BUDGET_ACTIONS:
+            raise KernelError(
+                f"{name}: unknown budget action {action!r} "
+                f"(expected one of {self.BUDGET_ACTIONS})"
+            )
+        thread.budget_ns = budget_ns
+        thread.budget_action = action
+
+    def set_restart_policy(
+        self, name: str, max_restarts: int, backoff_ns: int = 0
+    ) -> None:
+        """Allow a crashed (or budget-restarted) thread to come back.
+
+        At most ``max_restarts`` restarts are granted; each applies an
+        exponentially growing release back-off (``backoff_ns``,
+        ``2*backoff_ns``, ``4*backoff_ns``...).  Once the bound is
+        exhausted the next crash kills the thread for good.
+        """
+        thread = self.threads[name]
+        if max_restarts < 0:
+            raise KernelError(f"{name}: max_restarts must be non-negative")
+        if backoff_ns < 0:
+            raise KernelError(f"{name}: backoff must be non-negative")
+        thread.max_restarts = max_restarts
+        thread.restart_backoff_ns = backoff_ns
+
+    def on_deadline_miss(
+        self, name: str, handler: Callable[["Kernel", Thread, "object"], None]
+    ) -> None:
+        """Register ``handler(kernel, thread, job_record)`` to fire at
+        the instant a job of ``name`` misses its deadline.
+
+        Unlike post-hoc trace queries, the handler runs *at miss time*
+        on the virtual timeline, so it can shed load, raise an alarm
+        thread, or crash-and-restart the offender while the overload
+        is still in progress.
+        """
+        thread = self.threads[name]
+        if thread.relative_deadline is None:
+            raise KernelError(f"{name} has no deadline to miss")
+        self._miss_handlers[name] = handler
+
+    def crash_thread(self, name: str, reason: str = "fault") -> None:
+        """Simulate the thread dying mid-job (fault injection).
+
+        Held semaphores are released (the kernel survives its
+        applications).  With a restart policy the thread loses its
+        current job and backlog, serves its back-off, and resumes on a
+        later release; without one -- or once the restart bound is
+        exhausted -- it is killed permanently.
+        """
+        thread = self.threads[name]
+        if thread.dead:
+            return
+        self.trace.note(self.now, "crash", f"{name}: {reason}")
+        self._release_held(thread)
+        if (
+            thread.max_restarts is not None
+            and thread.restart_count < thread.max_restarts
+        ):
+            self._restart_thread(thread)
+        else:
+            if thread.max_restarts is not None:
+                self.trace.note(self.now, "restart-exhausted", name)
+            self.kill_thread(name)
+
+    def _restart_thread(self, thread: Thread) -> None:
+        """Bounded restart: drop the in-flight job and backlog, then
+        rejoin the release stream after an exponential back-off."""
+        thread.restart_count += 1
+        backoff = thread.restart_backoff_ns * (2 ** (thread.restart_count - 1))
+        record = self.trace.job_aborted(thread.name, thread.job_no, self.now)
+        if record is not None:
+            thread.jobs_aborted += 1
+        self._detach_from_waits(thread)
         if thread.ready:
-            self.scheduler.on_block(thread)
-        self.scheduler.remove_task(thread)
-        thread.state = ThreadState.BLOCKED
-        thread.blocked_on = "dead"
-        self.trace.note(self.now, "kill", name)
+            cost = self.scheduler.on_block(thread)
+            self.charge(cost, "sched")
+        thread.state = ThreadState.IDLE
+        thread.blocked_on = None
+        thread.pending_releases = 0
+        thread.abs_deadline = None
+        thread.op_started = False
+        thread.read_token = None
+        thread.pending_hint = thread.period_hint
+        thread.restart_until = self.now + backoff
+        self.trace.note(
+            self.now,
+            "restart",
+            f"{thread.name} #{thread.restart_count} backoff={backoff}",
+        )
         if self.running is thread:
             self.running = None
         self._need_resched = True
         self._dispatch_if_needed()
+
+    def _budget_exhausted(self, thread: Thread) -> bool:
+        return (
+            thread.budget_ns is not None
+            and not thread.budget_fired
+            and thread.job_exec_ns >= thread.budget_ns
+        )
+
+    def _enforce_budget(self, thread: Thread) -> bool:
+        """Run the thread's budget action; True when the current job is
+        gone (the caller must stop stepping the thread)."""
+        thread.budget_fired = True
+        action = thread.budget_action
+        self.trace.note(
+            self.now,
+            "budget-overrun",
+            f"{thread.name} job {thread.job_no} action={action}",
+        )
+        if action == "warn":
+            return False
+        self._release_held(thread)
+        if action == "kill":
+            self.kill_thread(thread.name)
+        elif action == "restart":
+            if (
+                thread.max_restarts is not None
+                and thread.restart_count < thread.max_restarts
+            ):
+                self._restart_thread(thread)
+            else:
+                if thread.max_restarts is not None:
+                    self.trace.note(self.now, "restart-exhausted", thread.name)
+                self.kill_thread(thread.name)
+        else:  # suspend_job
+            self._abort_job(thread)
+            self._dispatch_if_needed()
+        return True
+
+    def _abort_job(self, thread: Thread) -> None:
+        """Abandon the current job: close its record (no completion),
+        then retire the thread exactly like a completion would."""
+        record = self.trace.job_aborted(thread.name, thread.job_no, self.now)
+        if record is not None:
+            thread.jobs_aborted += 1
+        thread.op_started = False
+        thread.read_token = None
+        self._retire_job(thread)
 
     # ------------------------------------------------------------------
     # periodic releases
@@ -507,12 +698,20 @@ class Kernel:
         if thread.dead:
             return
         self._schedule_release(thread, nominal + thread.spec.period)
+        if thread.restart_until is not None:
+            if self.now < thread.restart_until:
+                self.trace.note(self.now, "release-skipped-backoff", thread.name)
+                return
+            thread.restart_until = None
+        if not self.scheduler.admit_release(thread, self.now):
+            self.trace.note(self.now, "release-shed", thread.name)
+            return
         if thread.state == ThreadState.IDLE:
             thread.start_job(nominal)
-            self.trace.job_released(
+            record = self.trace.job_released(
                 thread.name, nominal, thread.abs_deadline, thread.job_no
             )
-            self._arm_deadline_check(thread)
+            self._arm_deadline_check(thread, record)
             thread.pending_hint = thread.period_hint
             self.deliver_unblock(thread)
         else:
@@ -521,17 +720,33 @@ class Kernel:
             if self.stop_on_deadline_miss:
                 self._stop = True
 
-    def _arm_deadline_check(self, thread: Thread) -> None:
-        if not self.stop_on_deadline_miss or thread.abs_deadline is None:
+    def _arm_deadline_check(self, thread: Thread, record) -> None:
+        """Schedule a check *at the deadline instant* of the job just
+        released.  At that instant an incomplete job is a miss: the
+        trace gets a ``deadline-miss-detected`` note, the registered
+        handler (if any) fires, and ``stop_on_deadline_miss`` aborts
+        the run -- detection happens on the timeline, not post-hoc."""
+        handler = self._miss_handlers.get(thread.name)
+        if record is None or record.deadline is None:
+            return
+        if handler is None and not self.stop_on_deadline_miss:
             return
         job = thread.job_no
 
         def check() -> None:
-            if thread.completed_jobs < job:
+            if record.completion is not None:
+                return
+            thread.miss_count += 1
+            self.trace.note(
+                self.now, "deadline-miss-detected", f"{thread.name} job {job}"
+            )
+            if self.stop_on_deadline_miss:
                 self.trace.note(self.now, "deadline-overrun", thread.name)
                 self._stop = True
+            if handler is not None:
+                handler(self, thread, record)
 
-        self.schedule_event(thread.abs_deadline, check, f"dl:{thread.name}")
+        self.schedule_event(record.deadline, check, f"dl:{thread.name}")
 
     def _complete_job(self, thread: Thread) -> None:
         thread.completed_jobs += 1
@@ -542,6 +757,11 @@ class Kernel:
             and record.missed
         ):
             self._stop = True
+        self._retire_job(thread)
+
+    def _retire_job(self, thread: Thread) -> None:
+        """Shared tail of job completion and abort: start a queued
+        release immediately, or park the thread until the next one."""
         if thread.pending_releases > 0:
             thread.pending_releases -= 1
             if thread.periodic:
@@ -550,10 +770,10 @@ class Kernel:
             else:
                 nominal = self.now
             thread.start_job(nominal)
-            self.trace.job_released(
+            record = self.trace.job_released(
                 thread.name, nominal, thread.abs_deadline, thread.job_no
             )
-            self._arm_deadline_check(thread)
+            self._arm_deadline_check(thread, record)
             return  # stays ready; next job starts immediately
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = "period" if thread.periodic else "activation"
@@ -652,10 +872,8 @@ class Kernel:
         self.trace.note(self.now, "protection-fault", f"{thread.name}: {fault}")
         if self.fault_policy == "raise":
             raise fault
-        if thread.held_sems:
-            # Release held locks so the fault cannot deadlock others.
-            for sem_name in list(thread.held_sems):
-                self.semaphores[sem_name].release(self, thread)
+        # Release held locks so the fault cannot deadlock others.
+        self._release_held(thread)
         self.kill_thread(thread.name)
 
     # ------------------------------------------------------------------
@@ -675,11 +893,23 @@ class Kernel:
                 thread.remaining = op.duration
             else:
                 thread.remaining = op.duration
+                if self.fault_injector is not None:
+                    extra = self.fault_injector.compute_extra(thread)
+                    if extra > 0:
+                        thread.remaining += extra
+                        self.trace.note(
+                            self.now, "fault-wcet-overrun", f"{thread.name} +{extra}"
+                        )
                 if thread.remaining == 0:
                     self._finish_op(thread)
                     return
+        if self._budget_exhausted(thread) and self._enforce_budget(thread):
+            return  # the job is gone; do not step the dead op
         horizon = self.events.peek_time()
         limit = t_end if horizon is None else min(t_end, horizon)
+        if thread.budget_ns is not None and not thread.budget_fired:
+            # Stop exactly at budget exhaustion, even with no event due.
+            limit = min(limit, self.now + thread.budget_ns - thread.job_exec_ns)
         if limit <= self.now:
             return  # an event is due; the main loop drains it first
         run = min(thread.remaining, limit - self.now)
@@ -687,7 +917,10 @@ class Kernel:
         self.clock.advance_by(run)
         self.trace.add_segment(start, self.now, thread.name)
         thread.remaining -= run
+        thread.job_exec_ns += run
         if thread.remaining > 0:
+            if self._budget_exhausted(thread):
+                self._enforce_budget(thread)
             return
         if isinstance(op, ops.StateRead):
             channel = self._channel(op.channel)

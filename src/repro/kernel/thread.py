@@ -90,6 +90,17 @@ class Thread(Schedulable):
         "dead",
         "min_interarrival",
         "last_activation",
+        "criticality",
+        "budget_ns",
+        "budget_action",
+        "budget_fired",
+        "job_exec_ns",
+        "jobs_aborted",
+        "miss_count",
+        "max_restarts",
+        "restart_backoff_ns",
+        "restart_count",
+        "restart_until",
     )
 
     def __init__(
@@ -177,6 +188,31 @@ class Thread(Schedulable):
         self.min_interarrival: Optional[int] = None
         #: Time of the last accepted activation.
         self.last_activation: Optional[int] = None
+        #: Overload-shedding rank (higher = more critical; releases of
+        #: the least critical tasks go first when a CSD band overruns).
+        self.criticality = 0
+        #: Per-job execution-time budget (ns); ``None`` = unlimited.
+        self.budget_ns: Optional[int] = None
+        #: Enforcement action when the budget exhausts
+        #: ("warn", "suspend_job", "kill", or "restart").
+        self.budget_action = "warn"
+        #: The budget already fired for the current job (warn once).
+        self.budget_fired = False
+        #: Execution time consumed by the current job (ns).
+        self.job_exec_ns = 0
+        #: Jobs abandoned by budget enforcement, crashes, or restarts.
+        self.jobs_aborted = 0
+        #: Deadline misses detected at miss time (armed checks).
+        self.miss_count = 0
+        #: Restart policy: ``None`` means a crash kills the thread for
+        #: good; an integer bounds how many restarts are granted.
+        self.max_restarts: Optional[int] = None
+        #: Base back-off delay between restarts (doubles each time).
+        self.restart_backoff_ns = 0
+        #: Restarts consumed so far.
+        self.restart_count = 0
+        #: Releases before this time are skipped (restart back-off).
+        self.restart_until: Optional[int] = None
 
     @property
     def periodic(self) -> bool:
@@ -198,6 +234,10 @@ class Thread(Schedulable):
         self.release_time = release_time
         self.pc = 0
         self.remaining = 0
+        self.op_started = False
+        self.read_token = None
+        self.job_exec_ns = 0
+        self.budget_fired = False
         if self.relative_deadline is not None:
             self.abs_deadline = release_time + self.relative_deadline
         else:

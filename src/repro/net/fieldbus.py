@@ -17,8 +17,8 @@ the lookahead that makes the conservative node synchronization sound.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional
 
 from repro.net.frame import Frame, frame_bits
 
@@ -55,8 +55,15 @@ class Fieldbus:
         self._sequence = 0
         #: Virtual time at which the bus next becomes idle.
         self.busy_until = 0
+        #: Fault hook (set by ``FaultInjector.install``): called with
+        #: ``(start_time, frame)`` for every frame that wins
+        #: arbitration; returns ``"ok"``, ``"drop"`` (the frame is lost
+        #: on the wire), or ``"corrupt"`` (delivered with a bad CRC).
+        self.fault_hook: Optional[Callable[[int, Frame], str]] = None
         # statistics
         self.frames_delivered = 0
+        self.frames_dropped = 0
+        self.frames_corrupted = 0
         self.bits_carried = 0
         self.total_arbitration_wait_ns = 0
 
@@ -101,10 +108,19 @@ class Fieldbus:
             duration = self.frame_time_ns(winner.frame.size)
             completion = start + duration
             self.busy_until = completion
-            self.frames_delivered += 1
             self.bits_carried += winner.frame.bits
             self.total_arbitration_wait_ns += start - winner.time
-            deliveries.append(Delivery(completion, winner.frame))
+            frame = winner.frame
+            verdict = self.fault_hook(start, frame) if self.fault_hook else "ok"
+            if verdict == "drop":
+                # The frame occupied the wire but no node hears it.
+                self.frames_dropped += 1
+                continue
+            if verdict == "corrupt":
+                self.frames_corrupted += 1
+                frame = replace(frame, corrupted=True)
+            self.frames_delivered += 1
+            deliveries.append(Delivery(completion, frame))
         return deliveries
 
     def utilization(self, elapsed_ns: int) -> float:

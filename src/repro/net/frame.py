@@ -47,6 +47,9 @@ class Frame:
     payload: Any = None
     size: int = 8
     sender: Optional[str] = None
+    #: Set by fault injection: the frame arrives with a failing CRC and
+    #: every receiving interface discards it.
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.can_id < 0:

@@ -62,6 +62,7 @@ class NetInterface:
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_filtered = 0
+        self.frames_crc_dropped = 0
 
     # ------------------------------------------------------------------
     # transmit path (thread -> driver -> bus)
@@ -90,6 +91,15 @@ class NetInterface:
         """
         if frame.sender == self.name:
             return  # a node does not receive its own transmission
+        if frame.corrupted:
+            # The controller's CRC check fails; the frame never reaches
+            # the driver (no interrupt -- CAN controllers drop bad
+            # frames in hardware).
+            self.frames_crc_dropped += 1
+            self.kernel.trace.note(
+                self.kernel.now, "frame-crc-dropped", f"{self.name} id={frame.can_id:#x}"
+            )
+            return
         if self.accept is not None and frame.can_id not in self.accept:
             self.frames_filtered += 1
             return

@@ -8,6 +8,11 @@ Usage::
 
 Targets: table1, table2, table3, figure2, figure3, figure4, figure5,
 figure11, ipc, cyclic, footprint, validate.  Results print to stdout.
+
+The ``faults`` subcommand (an extension beyond the paper) runs the
+chaos harness instead::
+
+    python -m repro.reproduce faults --seed 42 --wcet-overrun 0.1
 """
 
 from __future__ import annotations
@@ -283,6 +288,72 @@ def run_validate(quick: bool) -> None:
             )
 
 
+def run_faults(argv: List[str]) -> int:
+    """The ``faults`` subcommand: one seeded chaos run, reported."""
+    from repro.faults.chaos import run_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce faults",
+        description="Run the fault-injection chaos harness once.",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--duration-ms", type=int, default=1000, help="virtual run length"
+    )
+    parser.add_argument(
+        "--wcet-overrun", type=float, default=0.0, metavar="RATE",
+        help="WCET-overrun faults per virtual second",
+    )
+    parser.add_argument(
+        "--crash", type=float, default=0.0, metavar="RATE",
+        help="thread-crash faults per virtual second",
+    )
+    parser.add_argument(
+        "--jitter", type=float, default=0.0, metavar="RATE",
+        help="clock-jitter faults per virtual second",
+    )
+    parser.add_argument(
+        "--no-defenses", action="store_true",
+        help="disable budgets and restart policies",
+    )
+    args = parser.parse_args(argv)
+    if args.duration_ms <= 0:
+        parser.error(f"--duration-ms must be positive (got {args.duration_ms})")
+    for flag, rate in (
+        ("--wcet-overrun", args.wcet_overrun),
+        ("--crash", args.crash),
+        ("--jitter", args.jitter),
+    ):
+        if rate < 0:
+            parser.error(f"{flag} must be non-negative (got {rate:g})")
+    result = run_chaos(
+        args.seed,
+        ms(args.duration_ms),
+        wcet_overrun_rate=args.wcet_overrun,
+        crash_rate=args.crash,
+        clock_jitter_rate=args.jitter,
+        defenses=not args.no_defenses,
+    )
+    _banner(
+        f"Chaos run: seed {result.seed}, {args.duration_ms} ms, "
+        f"defenses {'on' if result.defenses else 'off'}"
+    )
+    injected = ", ".join(
+        f"{k}={v}" for k, v in sorted(result.faults_injected.items())
+    ) or "none"
+    print(f"faults planned/injected: {result.faults_planned} / {injected}")
+    print(f"deadline-miss ratio:     {result.miss_ratio:.3f}")
+    rows = [
+        [name, f"{ratio:.3f}"] for name, ratio in result.service_ratio.items()
+    ]
+    print(format_table(["task", "on-time service"], rows))
+    print(f"jobs aborted:            {result.jobs_aborted}")
+    print(f"threads lost:            {', '.join(result.threads_dead) or 'none'}")
+    print(f"recovery after burst:    {to_ms(result.recovery_ns):.1f} ms")
+    print(f"trace signature:         {result.trace_signature[:16]}")
+    return 0
+
+
 TARGETS: Dict[str, Callable[[bool], None]] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -301,6 +372,9 @@ TARGETS: Dict[str, Callable[[bool], None]] = {
 
 def main(argv: List[str] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "faults":
+        return run_faults(raw[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the EMERALDS paper's tables and figures."
     )
@@ -313,7 +387,7 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller sweeps for a fast pass"
     )
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw)
     chosen = args.targets or list(TARGETS)
     started = time.time()
     for target in chosen:

@@ -21,6 +21,10 @@ class VirtualClock:
     """Monotonic virtual time in integer nanoseconds."""
 
     def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError(
+                f"clock start must be non-negative (got {start})"
+            )
         self._now = start
 
     @property
@@ -37,7 +41,9 @@ class VirtualClock:
     def advance_by(self, delta: int) -> None:
         """Move forward by a relative amount (used to charge costs)."""
         if delta < 0:
-            raise ValueError("cannot charge negative time")
+            raise ValueError(
+                f"cannot charge negative time (got {delta} at {self._now})"
+            )
         self._now += delta
 
 
@@ -78,15 +84,17 @@ class EventQueue:
         self._counter = itertools.count()
 
     def __len__(self) -> int:
+        # Cancelled events can be buried below live ones, where _trim
+        # cannot reach them; count only the live ones.
         self._trim()
-        return len(self._heap)
+        return sum(1 for event in self._heap if not event.cancelled)
 
     def schedule(
         self, time: int, action: Callable[[], None], label: str = "event"
     ) -> ScheduledEvent:
         """Enqueue ``action`` to fire at absolute virtual time ``time``."""
         if time < 0:
-            raise ValueError("event time must be non-negative")
+            raise ValueError(f"event time must be non-negative (got {time})")
         event = ScheduledEvent(time, next(self._counter), action, label)
         heapq.heappush(self._heap, event)
         return event

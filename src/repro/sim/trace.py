@@ -45,6 +45,10 @@ class JobRecord:
     release: int
     deadline: Optional[int]
     completion: Optional[int] = None
+    #: Abandoned before completion (budget enforcement, crash, restart).
+    #: The record keeps ``completion=None``, so an overdue aborted job
+    #: still counts as a deadline violation.
+    aborted: bool = False
 
     @property
     def missed(self) -> bool:
@@ -114,6 +118,15 @@ class Trace:
             record.completion = completion
             if record.missed:
                 self.note(completion, "deadline-miss", thread)
+        return record
+
+    def job_aborted(self, thread: str, job_no: int, time: int) -> Optional[JobRecord]:
+        """Close a job record without a completion (the job was
+        abandoned by budget enforcement, a crash, or a restart)."""
+        record = self._open_jobs.pop((thread, job_no), None)
+        if record is not None:
+            record.aborted = True
+            self.note(time, "job-aborted", thread)
         return record
 
     def context_switch(self, time: int, old: Optional[str], new: Optional[str]) -> None:

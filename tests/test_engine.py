@@ -76,3 +76,64 @@ class TestEventQueue:
 
     def test_empty_peek(self):
         assert EventQueue().peek_time() is None
+
+
+class TestCancelRescheduleEdgeCases:
+    def test_cancel_then_reschedule_at_same_tick(self):
+        """Cancelling an event and scheduling a replacement at the very
+        same time must fire only the replacement, exactly once."""
+        q = EventQueue()
+        fired = []
+        stale = q.schedule(10, lambda: fired.append("stale"), "stale")
+        stale.cancel()
+        q.schedule(10, lambda: fired.append("fresh"), "fresh")
+        assert len(q) == 1
+        assert q.peek_time() == 10
+        while True:
+            ev = q.pop_due(10)
+            if ev is None:
+                break
+            ev.action()
+        assert fired == ["fresh"]
+        assert len(q) == 0
+
+    def test_len_counts_buried_cancelled_events(self):
+        """A cancelled event buried *below* the heap top must not be
+        counted (the lazy top-trim cannot reach it)."""
+        q = EventQueue()
+        q.schedule(10, lambda: None, "top")
+        buried = q.schedule(20, lambda: None, "buried")
+        buried.cancel()
+        assert q.peek_time() == 10  # top is live, trim removes nothing
+        assert len(q) == 1
+
+    def test_cancelled_event_resurrection_is_impossible(self):
+        """Popping past a cancel-then-reschedule pair at one tick keeps
+        (time, sequence) order deterministic."""
+        q = EventQueue()
+        order = []
+        a = q.schedule(10, lambda: order.append("a"), "a")
+        q.schedule(10, lambda: order.append("b"), "b")
+        a.cancel()
+        q.schedule(10, lambda: order.append("c"), "c")
+        while True:
+            ev = q.pop_due(10)
+            if ev is None:
+                break
+            ev.action()
+        assert order == ["b", "c"]
+
+
+class TestClockValidation:
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError, match="clock start"):
+            VirtualClock(-1)
+
+    def test_errors_are_labelled(self):
+        c = VirtualClock(100)
+        with pytest.raises(ValueError, match="50 < 100"):
+            c.advance_to(50)
+        with pytest.raises(ValueError, match="got -1 at 100"):
+            c.advance_by(-1)
+        with pytest.raises(ValueError, match="got -5"):
+            EventQueue().schedule(-5, lambda: None)

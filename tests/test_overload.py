@@ -123,3 +123,45 @@ class TestTransientOverload:
         assert late_jobs
         assert all(not j.missed for j in late_jobs)
         assert all(j.completion is not None for j in late_jobs)
+
+    def test_zero_miss_steady_state_after_fault_burst(self):
+        """Recovery semantics under the fault subsystem: a transient
+        burst of injected WCET overruns and crashes causes misses
+        while it lasts, but once it ends the defended kernel returns
+        to a zero-miss steady state -- and stays there."""
+        from repro.analysis.metrics import recovery_time_ns
+        from repro.faults import FaultInjector, FaultPlan
+        from repro.faults.chaos import build_chaos_kernel
+
+        burst_end = ms(200)
+        plan = FaultPlan.generate(
+            11,
+            burst_end,  # every fault lands inside the burst window
+            threads=["ctrl", "sense", "log", "bulk"],
+            wcet_overrun_rate=60.0,
+            crash_rate=10.0,
+        )
+        assert len(plan) > 0
+        kernel = build_chaos_kernel(defenses=True)
+        FaultInjector(kernel, plan).install()
+        trace = kernel.run_until(ms(600))
+        # The burst hurt (otherwise this test shows nothing)...
+        assert trace.deadline_violations(kernel.now)
+        # ...nothing died permanently...
+        assert not [t for t in kernel.threads.values() if t.dead]
+        # ...and past the burst plus the longest back-off the system is
+        # clean: no violation instant after the recovery margin.
+        margin = burst_end + ms(100)
+        for job in trace.deadline_violations(kernel.now):
+            instant = (
+                job.completion if job.completion is not None else job.deadline
+            )
+            assert instant <= margin, f"violation at {instant} after recovery"
+        assert recovery_time_ns(trace, kernel.now, burst_end) <= ms(100)
+        # Every post-margin release completed on time.
+        settled = [j for j in trace.jobs if j.release >= margin]
+        assert settled
+        assert all(
+            j.completion is not None and j.completion <= j.deadline
+            for j in settled
+        )

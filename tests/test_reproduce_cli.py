@@ -27,6 +27,28 @@ def test_unknown_target_rejected():
         reproduce.main(["figure99"])
 
 
+def test_faults_subcommand(capsys):
+    assert reproduce.main(["faults", "--seed", "42", "--wcet-overrun", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "Chaos run: seed 42" in out
+    assert "deadline-miss ratio" in out
+    assert "trace signature" in out
+
+
+def test_faults_subcommand_is_deterministic(capsys):
+    args = ["faults", "--seed", "7", "--wcet-overrun", "20", "--crash", "5"]
+    assert reproduce.main(args) == 0
+    first = capsys.readouterr().out
+    assert reproduce.main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_faults_no_defenses_flag(capsys):
+    assert reproduce.main(["faults", "--crash", "10", "--no-defenses"]) == 0
+    out = capsys.readouterr().out
+    assert "defenses off" in out
+
+
 def test_default_runs_everything_quick_is_not_tested_here():
     """Running all targets takes minutes; covered by the benchmarks."""
     assert set(reproduce.TARGETS) >= {
