@@ -13,54 +13,68 @@ threads forever (service collapses), while the defended kernel aborts
 runaway jobs at their budget and restarts crashed threads after a
 bounded back-off -- no thread is ever lost.
 
-``--smoke`` shrinks the sweep for CI (a few seconds).
+Each (rate, defenses, seed) case is an independent seeded simulation,
+so the sweep fans out over ``--workers`` processes (results identical
+to the serial run).  ``--smoke`` shrinks the sweep for CI.
 """
 
-import argparse
 import statistics
+from typing import Tuple
 
-from common import publish
+from common import apply_bench_args, bench_arg_parser, publish, sweep_map
 from repro.analysis import format_table
 from repro.faults.chaos import run_chaos
 from repro.timeunits import ms, to_ms
 
 
+def _chaos_case(case: Tuple[float, bool, int, int]):
+    """One seeded chaos run; module-level so worker processes can
+    import it.  Determinism rides on the seed inside the case."""
+    rate, defended, seed, duration_ns = case
+    return run_chaos(
+        seed,
+        duration_ns,
+        wcet_overrun_rate=rate,
+        crash_rate=rate / 10,
+        clock_jitter_rate=rate / 2,
+        defenses=defended,
+    )
+
+
 def sweep(rates, seeds, duration_ns):
+    cases = [
+        (rate, defended, seed, duration_ns)
+        for rate in rates
+        for defended in (True, False)
+        for seed in seeds
+    ]
+    outcomes = sweep_map(_chaos_case, cases)
     rows = []
-    for rate in rates:
-        for defended in (True, False):
-            results = [
-                run_chaos(
-                    seed,
-                    duration_ns,
-                    wcet_overrun_rate=rate,
-                    crash_rate=rate / 10,
-                    clock_jitter_rate=rate / 2,
-                    defenses=defended,
-                )
-                for seed in seeds
+    per_seed = len(seeds)
+    for index in range(0, len(cases), per_seed):
+        rate, defended, _, _ = cases[index]
+        results = outcomes[index:index + per_seed]
+        rows.append(
+            [
+                f"{rate:g}",
+                "yes" if defended else "no",
+                f"{statistics.mean(r.miss_ratio for r in results):.3f}",
+                f"{statistics.mean(r.service_ratio['ctrl'] for r in results):.3f}",
+                f"{statistics.mean(min(r.service_ratio.values()) for r in results):.3f}",
+                f"{statistics.mean(r.jobs_aborted for r in results):.1f}",
+                f"{statistics.mean(len(r.threads_dead) for r in results):.1f}",
+                f"{to_ms(round(statistics.mean(r.recovery_ns for r in results))):.1f}",
             ]
-            rows.append(
-                [
-                    f"{rate:g}",
-                    "yes" if defended else "no",
-                    f"{statistics.mean(r.miss_ratio for r in results):.3f}",
-                    f"{statistics.mean(r.service_ratio['ctrl'] for r in results):.3f}",
-                    f"{statistics.mean(min(r.service_ratio.values()) for r in results):.3f}",
-                    f"{statistics.mean(r.jobs_aborted for r in results):.1f}",
-                    f"{statistics.mean(len(r.threads_dead) for r in results):.1f}",
-                    f"{to_ms(round(statistics.mean(r.recovery_ns for r in results))):.1f}",
-                ]
-            )
+        )
     return rows
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = bench_arg_parser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true", help="tiny sweep for CI"
     )
-    args = parser.parse_args(argv)
+    args = apply_bench_args(parser.parse_args(argv))
     if args.smoke:
         rates, seeds, duration = (5.0, 50.0), (1, 2), ms(300)
     else:

@@ -7,20 +7,26 @@ EDF, RM, and CSD-3 and we report the virtual time actually charged to
 scheduling (queue operations, selections, context switches).  The
 paper's claim translates to CSD-3 charging substantially less than
 EDF at moderate-to-large n with short periods.
+
+The same run doubles as the repository's canonical throughput
+measurement: a pooled :class:`repro.perf.counters.PerfReport` is
+appended to the committed perf trajectory (``BENCH_kernel.json``), so
+every benchmark run extends the performance history.
 """
 
-from common import publish
+from common import bench_record_mode, publish, trajectory_path
 from repro.analysis import format_table
-from repro.core.allocation import balanced_splits
 from repro.core.overhead import OverheadModel
-from repro.core.schedulability import (
-    band_sizes_from_splits,
-    csd_overhead_per_period,
-    csd_schedulable,
+from repro.perf.trajectory import append_entry, make_entry
+from repro.perf.workloads import (
+    HORIZON_NS,
+    min_overhead_splits,
+    overhead_workload,
+    run_throughput,
+    throughput_config,
 )
 from repro.sim.kernelsim import simulate_workload
-from repro.sim.workload import generate_workload
-from repro.timeunits import ms, to_us
+from repro.timeunits import to_us
 
 
 def _scheduler_time(trace) -> int:
@@ -29,44 +35,22 @@ def _scheduler_time(trace) -> int:
     )
 
 
-def _min_overhead_splits(workload, dp_bands, model):
-    """The feasible balanced allocation minimizing analytic overhead
-    utilization -- what the offline search optimizes for when the load
-    leaves headroom (Section 5.5.3's overhead-balancing criterion)."""
-    n = len(workload)
-    best, best_cost = None, None
-    for r in range(n + 1):
-        splits = balanced_splits(workload, dp_bands, r)
-        if not csd_schedulable(workload, splits, model):
-            continue
-        sizes = band_sizes_from_splits(n, splits)
-        cost = 0.0
-        index = 0
-        for band, size in enumerate(sizes):
-            per = csd_overhead_per_period(model, sizes, band)
-            for _ in range(size):
-                cost += per / workload[index].period
-                index += 1
-        if best_cost is None or cost < best_cost:
-            best, best_cost = splits, cost
-    return best
-
-
 def test_scheduler_overhead_in_live_kernel(benchmark):
     model = OverheadModel()
     # Short periods invoke the scheduler often -- the regime where the
     # paper's savings are largest (Figure 5).
-    workload = generate_workload(20, seed=4, utilization=0.45).with_periods_divided(3)
-    splits = _min_overhead_splits(workload, 2, model)
+    workload = overhead_workload()
+    splits = min_overhead_splits(workload, 2, model)
     assert splits is not None
-    horizon = ms(2000)
+    horizon = HORIZON_NS
+    mode = bench_record_mode()
 
     def run():
         results = {}
         for policy, sp in (("edf", None), ("rm", None), ("csd-3", splits)):
             kernel, trace = simulate_workload(
                 workload, policy, duration=horizon, model=model,
-                splits=sp, record_segments=False,
+                splits=sp, record=mode,
             )
             results[policy] = (
                 _scheduler_time(trace),
@@ -108,3 +92,15 @@ def test_scheduler_overhead_in_live_kernel(benchmark):
     assert reduction > 0.10
     # No policy may miss deadlines on this comfortably feasible set.
     assert all(misses == 0 for _, _, misses in results.values())
+
+    # Extend the perf trajectory with a properly timed measurement of
+    # the same configuration (the run above pays pytest-benchmark
+    # bookkeeping; run_throughput times each policy run alone).
+    report = run_throughput(mode, model=model)
+    entry = append_entry(
+        trajectory_path(),
+        make_entry("bench-kernel-overhead", report.as_dict(),
+                   throughput_config(mode)),
+    )
+    print(f"\ntrajectory += {entry['throughput_sim_ns_per_s']} sim-ns/s "
+          f"({entry['config_hash']})")

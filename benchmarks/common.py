@@ -4,21 +4,45 @@ Every benchmark regenerates one of the paper's tables or figures and
 writes the rendered text into ``benchmarks/results/`` (so the output
 survives pytest's capture) in addition to printing it.
 
+All benchmarks read their knobs from one place -- here -- either as
+environment variables (how the pytest-run benchmarks are configured)
+or through :func:`bench_arg_parser`, which gives standalone benchmark
+CLIs the same ``--seed/--out/--workers/--record`` flags and writes
+them back into the environment so the env-based getters agree.
+
 Environment knobs:
 
 * ``REPRO_BENCH_WORKLOADS`` -- random workloads averaged per point in
   the Figures 3-5 sweeps (default 25; the paper used 500).
 * ``REPRO_BENCH_TASKCOUNTS`` -- comma-separated task counts for the
   sweeps (default ``5,10,...,50`` like the paper).
+* ``REPRO_BENCH_WORKERS`` -- worker processes for parallel sweeps
+  (default 1 = serial; 0 = one per CPU).
+* ``REPRO_BENCH_RECORD`` -- trace recording mode for live-kernel
+  benchmarks (``full``, ``jobs-only`` or ``off``; default
+  ``jobs-only``).
+* ``REPRO_BENCH_SEED`` -- base RNG seed for sweeps that accept one.
+* ``REPRO_BENCH_OUT`` -- output directory for rendered results
+  (default ``benchmarks/results/``).
+* ``REPRO_BENCH_TRAJECTORY`` -- perf trajectory file live-kernel
+  benchmarks append to (default ``BENCH_kernel.json`` at the repo
+  root).
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 from pathlib import Path
-from typing import List
+from typing import List, Optional
+
+from repro.perf.sweeps import WORKERS_ENV, parallel_map, resolve_workers
+from repro.sim.trace import RECORD_MODES
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The committed perf trajectory lives at the repository root.
+TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 
 
 def bench_workloads() -> int:
@@ -34,9 +58,93 @@ def bench_task_counts() -> List[int]:
     return list(range(5, 51, 5))
 
 
+def bench_workers() -> int:
+    """Worker processes for parallel sweeps (1 = serial, 0 = per CPU)."""
+    return resolve_workers(None)
+
+
+def bench_record_mode() -> str:
+    """Trace recording mode for live-kernel benchmark runs."""
+    mode = os.environ.get("REPRO_BENCH_RECORD", "jobs-only")
+    if mode not in RECORD_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_RECORD={mode!r}: expected one of {RECORD_MODES}"
+        )
+    return mode
+
+
+def bench_seed(default: int = 0) -> int:
+    """Base RNG seed for seeded sweeps."""
+    raw = os.environ.get("REPRO_BENCH_SEED", "")
+    return int(raw) if raw else default
+
+
+def bench_out_dir() -> Path:
+    """Directory rendered benchmark output is persisted into."""
+    raw = os.environ.get("REPRO_BENCH_OUT", "")
+    return Path(raw) if raw else RESULTS_DIR
+
+
+def trajectory_path() -> Path:
+    """The perf trajectory file benchmark runs append to."""
+    raw = os.environ.get("REPRO_BENCH_TRAJECTORY", "")
+    return Path(raw) if raw else TRAJECTORY_PATH
+
+
+def bench_arg_parser(description: Optional[str] = None) -> argparse.ArgumentParser:
+    """The shared CLI for standalone benchmark scripts.
+
+    Flags mirror the environment knobs; :func:`apply_bench_args` writes
+    the parsed values back into the environment, so library code that
+    consults ``bench_workers()`` etc. sees the flags too.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    parser.add_argument(
+        "--seed", type=int, default=None, help="base RNG seed for the sweep"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="directory for rendered results (default benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default 1 = serial; 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--record", choices=RECORD_MODES, default=None,
+        help="trace recording mode for live-kernel runs",
+    )
+    return parser
+
+
+def apply_bench_args(args: argparse.Namespace) -> argparse.Namespace:
+    """Publish parsed shared flags into the environment knobs."""
+    if getattr(args, "seed", None) is not None:
+        os.environ["REPRO_BENCH_SEED"] = str(args.seed)
+    if getattr(args, "out", None) is not None:
+        os.environ["REPRO_BENCH_OUT"] = str(args.out)
+    if getattr(args, "workers", None) is not None:
+        if args.workers < 0:
+            raise SystemExit(f"--workers must be non-negative (got {args.workers})")
+        os.environ[WORKERS_ENV] = str(args.workers)
+    if getattr(args, "record", None) is not None:
+        os.environ["REPRO_BENCH_RECORD"] = args.record
+    return args
+
+
+def sweep_map(fn, items, chunksize: Optional[int] = None):
+    """Map a sweep over its points with the configured worker count.
+
+    Thin wrapper over :func:`repro.perf.sweeps.parallel_map`; results
+    are bit-identical to the serial run at any worker count.
+    """
+    return parallel_map(fn, items, workers=bench_workers(), chunksize=chunksize)
+
+
 def publish(name: str, text: str) -> None:
-    """Print a rendered table/figure and persist it under results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    """Print a rendered table/figure and persist it under the output dir."""
+    out = bench_out_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)

@@ -53,6 +53,10 @@ class CSDScheduler(Scheduler):
         # PI bookkeeping: tasks temporarily migrated to a higher queue,
         # mapped to their home queue index.
         self._pi_home: Dict[Schedulable, int] = {}
+        # Per-length charged-cost memos; see EDFScheduler.__init__.
+        self._block_costs: Dict[Tuple[bool, int], int] = {}
+        self._unblock_costs: Dict[Tuple[bool, int], int] = {}
+        self._select_costs: Dict[Tuple[bool, int], int] = {}
 
     # ------------------------------------------------------------------
     # structure
@@ -71,11 +75,19 @@ class CSDScheduler(Scheduler):
         return [len(q) for q in self.dp_queues] + [len(self.fp_queue)]
 
     def queue_index_of(self, task: Schedulable) -> int:
-        for i, queue in enumerate(self.dp_queues):
-            if task in queue:
-                return i
-        if task in self.fp_queue:
+        # O(1) in the common case: membership is an identity check on
+        # the task's queue back-pointer, and ``task.csd_queue`` tracks
+        # the index through PI migrations.
+        queue = task._queue
+        if queue is self.fp_queue:
             return self.fp_index
+        dp_queues = self.dp_queues
+        index = task.csd_queue
+        if index is not None and index < len(dp_queues) and queue is dp_queues[index]:
+            return index
+        for i, candidate in enumerate(dp_queues):
+            if queue is candidate:
+                return i
         raise ValueError(f"{task.name} is not scheduled by this CSD scheduler")
 
     def _queue_at(self, index: int):
@@ -165,17 +177,29 @@ class CSDScheduler(Scheduler):
         queue.block(task)
         if index == self.fp_index:
             # FP task blocks: t_b = O(n - r), advance highestp.
-            return self.model.rm_block(len(self.fp_queue))
-        # DP task blocks: t_b = O(1), a TCB flag update.
-        return self.model.edf_block(len(queue))
+            key = (True, self.fp_queue._size)
+        else:
+            # DP task blocks: t_b = O(1), a TCB flag update.
+            key = (False, len(queue._tasks))
+        cost = self._block_costs.get(key)
+        if cost is None:
+            fn = self.model.rm_block if key[0] else self.model.edf_block
+            cost = self._block_costs[key] = fn(key[1])
+        return cost
 
     def _unblock(self, task: Schedulable) -> int:
         index = self.queue_index_of(task)
         queue = self._queue_at(index)
         queue.unblock(task)
         if index == self.fp_index:
-            return self.model.rm_unblock(len(self.fp_queue))
-        return self.model.edf_unblock(len(queue))
+            key = (True, self.fp_queue._size)
+        else:
+            key = (False, len(queue._tasks))
+        cost = self._unblock_costs.get(key)
+        if cost is None:
+            fn = self.model.rm_unblock if key[0] else self.model.edf_unblock
+            cost = self._unblock_costs[key] = fn(key[1])
+        return cost
 
     def _select(self) -> Tuple[Optional[Schedulable], int]:
         """Walk the prioritized queue list; parse the first live queue.
@@ -185,13 +209,23 @@ class CSDScheduler(Scheduler):
         EDF scan for a DP queue with ready tasks, or the O(1)
         ``highestp`` dereference for the FP queue.
         """
-        cost = self.queue_count * self.model.queue_parse_ns
-        for queue in self.dp_queues:
+        dp_queues = self.dp_queues
+        parse = (len(dp_queues) + 1) * self.model.queue_parse_ns
+        for queue in dp_queues:
             if queue.ready_count > 0:
                 task = queue.select()
-                return task, cost + self.model.edf_select(len(queue))
-        task = self.fp_queue.select()
-        return task, cost + self.model.rm_select(len(self.fp_queue))
+                key = (False, len(queue._tasks))
+                cost = self._select_costs.get(key)
+                if cost is None:
+                    cost = self._select_costs[key] = self.model.edf_select(key[1])
+                return task, parse + cost
+        fp_queue = self.fp_queue
+        task = fp_queue.select()
+        key = (True, fp_queue._size)
+        cost = self._select_costs.get(key)
+        if cost is None:
+            cost = self._select_costs[key] = self.model.rm_select(key[1])
+        return task, parse + cost
 
     # ------------------------------------------------------------------
     # priority inheritance

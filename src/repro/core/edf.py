@@ -25,6 +25,13 @@ class EDFScheduler(Scheduler):
     def __init__(self, model: Optional[OverheadModel] = None):
         super().__init__(model)
         self.queue = UnsortedQueue("EDF")
+        # Charged costs depend only on the queue length; memoize them
+        # per length so the per-dispatch hot path pays a C-level dict
+        # lookup instead of a model method call (the model is immutable
+        # after construction).
+        self._block_costs: dict = {}
+        self._unblock_costs: dict = {}
+        self._select_costs: dict = {}
 
     def add_task(self, task: Schedulable) -> None:
         self.queue.add(task)
@@ -47,16 +54,31 @@ class EDFScheduler(Scheduler):
         return (0, task.effective_deadline, task.effective_key)
 
     def _block(self, task: Schedulable) -> int:
-        self.queue.block(task)
-        return self.model.edf_block(len(self.queue))
+        queue = self.queue
+        queue.block(task)
+        n = len(queue._tasks)
+        cost = self._block_costs.get(n)
+        if cost is None:
+            cost = self._block_costs[n] = self.model.edf_block(n)
+        return cost
 
     def _unblock(self, task: Schedulable) -> int:
-        self.queue.unblock(task)
-        return self.model.edf_unblock(len(self.queue))
+        queue = self.queue
+        queue.unblock(task)
+        n = len(queue._tasks)
+        cost = self._unblock_costs.get(n)
+        if cost is None:
+            cost = self._unblock_costs[n] = self.model.edf_unblock(n)
+        return cost
 
     def _select(self) -> Tuple[Optional[Schedulable], int]:
-        task = self.queue.select()
-        return task, self.model.edf_select(len(self.queue))
+        queue = self.queue
+        task = queue.select()
+        n = len(queue._tasks)
+        cost = self._select_costs.get(n)
+        if cost is None:
+            cost = self._select_costs[n] = self.model.edf_select(n)
+        return task, cost
 
     def _raise_priority(self, task: Schedulable, donor: Schedulable) -> int:
         # DP tasks are not kept sorted, so inheritance is an O(1)

@@ -64,6 +64,7 @@ class Schedulable:
         "abs_deadline",
         "pi_deadline",
         "csd_queue",
+        "rank_cache",
         "_queue",
         "_node",
         "_heap_entry",
@@ -76,6 +77,11 @@ class Schedulable:
         self.effective_key: PriorityKey = base_key
         self.abs_deadline: Optional[int] = None
         self.pi_deadline: Optional[int] = None
+        #: Memoized ``Kernel.priority_rank`` tuple; ``None`` = stale.
+        #: Every site that mutates the fields the rank derives from
+        #: (``effective_key``, ``abs_deadline``, ``pi_deadline``,
+        #: ``csd_queue``) must reset this to ``None``.
+        self.rank_cache: Optional[Tuple] = None
         #: CSD queue assignment (0-based; the FP queue is the last
         #: index).  ``None`` means "unassigned": CSD places the task on
         #: its FP queue.
@@ -158,15 +164,26 @@ class UnsortedQueue:
         self.total_scan_steps += 1
 
     def select(self) -> Optional[Schedulable]:
-        """Scan for the earliest-effective-deadline ready task.  O(n)."""
+        """Scan for the earliest-effective-deadline ready task.  O(n).
+
+        ``effective_deadline`` is inlined: this loop runs once per
+        dispatch over every task, and the property call dominated the
+        EDF profile.
+        """
         best: Optional[Schedulable] = None
         best_deadline = _INFINITY
-        steps = 0
-        for task in self._tasks:
-            steps += 1
+        tasks = self._tasks
+        for task in tasks:
             if not task.ready:
                 continue
-            deadline = task.effective_deadline
+            own = task.abs_deadline
+            inherited = task.pi_deadline
+            if own is None:
+                deadline = _INFINITY if inherited is None else inherited
+            elif inherited is None or own <= inherited:
+                deadline = own
+            else:
+                deadline = inherited
             # Tie-break on the static key, then name, for determinism.
             if best is None or deadline < best_deadline or (
                 deadline == best_deadline
@@ -174,9 +191,19 @@ class UnsortedQueue:
             ):
                 best = task
                 best_deadline = deadline
+        steps = len(tasks)
         self.last_scan_steps = steps
         self.total_scan_steps += steps
         return best
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if counters or back-pointers broke."""
+        ready = 0
+        for task in self._tasks:
+            assert task._queue is self, f"{task.name}: queue back-pointer broken"
+            if task.ready:
+                ready += 1
+        assert ready == self.ready_count, "ready_count mismatch"
 
     def _check_membership(self, task: Schedulable) -> None:
         if task._queue is not self:
@@ -566,6 +593,34 @@ class ReadyHeap:
         self.last_scan_steps = steps
         self.total_scan_steps += steps
         return None
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if the heap bookkeeping broke.
+
+        Invariants: counters match membership; every ready member has a
+        live heap entry pointing back at it; every live heap entry's
+        task is a ready member; the heap property holds on keys.
+        """
+        ready = 0
+        for task in self._members:
+            assert task._queue is self, f"{task.name}: queue back-pointer broken"
+            if task.ready:
+                ready += 1
+                entry = task._heap_entry
+                assert entry is not None, f"{task.name}: ready but no heap entry"
+                assert entry[2] is task, f"{task.name}: heap entry points elsewhere"
+        assert ready == self.ready_count, "ready_count mismatch"
+        members = set(id(t) for t in self._members)
+        heap = self._heap
+        for i, entry in enumerate(heap):
+            task = entry[2]
+            if task is not None:
+                assert isinstance(task, Schedulable)
+                assert id(task) in members, f"{task.name}: heap entry for non-member"
+                assert task.ready, f"{task.name}: live heap entry while blocked"
+            for child in (2 * i + 1, 2 * i + 2):
+                if child < len(heap):
+                    assert heap[i][:2] <= heap[child][:2], "heap property broken"
 
     def _push(self, task: Schedulable) -> None:
         self._counter += 1

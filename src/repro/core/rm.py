@@ -31,6 +31,10 @@ class RMScheduler(Scheduler):
     def __init__(self, model: Optional[OverheadModel] = None):
         super().__init__(model)
         self.queue = SortedQueue("FP")
+        # Per-length cost memos; see EDFScheduler.__init__.
+        self._block_costs: dict = {}
+        self._unblock_costs: dict = {}
+        self._select_costs: dict = {}
 
     def add_task(self, task: Schedulable) -> None:
         self.queue.add(task)
@@ -53,16 +57,31 @@ class RMScheduler(Scheduler):
         self.queue.check_invariants()
 
     def _block(self, task: Schedulable) -> int:
-        self.queue.block(task)
-        return self.model.rm_block(len(self.queue))
+        queue = self.queue
+        queue.block(task)
+        n = queue._size
+        cost = self._block_costs.get(n)
+        if cost is None:
+            cost = self._block_costs[n] = self.model.rm_block(n)
+        return cost
 
     def _unblock(self, task: Schedulable) -> int:
-        self.queue.unblock(task)
-        return self.model.rm_unblock(len(self.queue))
+        queue = self.queue
+        queue.unblock(task)
+        n = queue._size
+        cost = self._unblock_costs.get(n)
+        if cost is None:
+            cost = self._unblock_costs[n] = self.model.rm_unblock(n)
+        return cost
 
     def _select(self) -> Tuple[Optional[Schedulable], int]:
-        task = self.queue.select()
-        return task, self.model.rm_select(len(self.queue))
+        queue = self.queue
+        task = queue.select()
+        n = queue._size
+        cost = self._select_costs.get(n)
+        if cost is None:
+            cost = self._select_costs[n] = self.model.rm_select(n)
+        return task, cost
 
     def _raise_priority(self, task: Schedulable, donor: Schedulable) -> int:
         task.effective_key = donor.effective_key

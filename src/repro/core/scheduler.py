@@ -31,9 +31,13 @@ from repro.core.queues import Schedulable
 __all__ = ["Scheduler", "SchedulerStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class SchedulerStats:
-    """Operation counts and charged virtual time, per category."""
+    """Operation counts and charged virtual time, per category.
+
+    Slotted: these counters are bumped on every scheduler invocation,
+    and slot stores are measurably cheaper than ``__dict__`` writes.
+    """
 
     blocks: int = 0
     unblocks: int = 0
@@ -80,6 +84,12 @@ class Scheduler(ABC):
 
     # ------------------------------------------------------------------
     # the three paper primitives
+    #
+    # NOTE: the kernel's per-job hot paths (_on_release, _retire_job,
+    # _dispatch in repro.kernel.kernel) inline these wrappers -- they
+    # call the _block/_unblock/_select hooks directly and bump the same
+    # stats fields themselves to save a call frame per invocation.  Any
+    # bookkeeping added here must be mirrored there.
     # ------------------------------------------------------------------
     def on_block(self, task: Schedulable) -> int:
         """Record that ``task`` blocked; return the charged ``t_b``."""
@@ -113,6 +123,8 @@ class Scheduler(ABC):
         CSD) the queue it lives on.  Returns the charged cost.
         """
         cost = self._raise_priority(task, donor)
+        task.rank_cache = None
+        donor.rank_cache = None
         self.stats.pi_operations += 1
         self.stats.charged_pi_ns += cost
         return cost
@@ -120,6 +132,7 @@ class Scheduler(ABC):
     def restore_priority(self, task: Schedulable) -> int:
         """Standard PI step: return ``task`` to its base priority."""
         cost = self._restore_priority(task)
+        task.rank_cache = None
         self.stats.pi_operations += 1
         self.stats.charged_pi_ns += cost
         return cost
@@ -135,6 +148,8 @@ class Scheduler(ABC):
         """
         cost = self._swap_with_placeholder(holder, placeholder)
         if cost is not None:
+            holder.rank_cache = None
+            placeholder.rank_cache = None
             self.stats.pi_operations += 1
             self.stats.charged_pi_ns += cost
         return cost

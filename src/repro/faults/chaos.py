@@ -16,7 +16,6 @@ the determinism tests.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -135,14 +134,7 @@ def run_chaos(
         )
         service[name] = on_time / expected if expected else 0.0
 
-    fingerprint = (
-        tuple(trace.events),
-        tuple(
-            (j.thread, j.release, j.deadline, j.completion, j.aborted)
-            for j in trace.jobs
-        ),
-    )
-    signature = hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+    signature = trace.signature()
     return ChaosResult(
         seed=seed,
         duration_ns=duration_ns,

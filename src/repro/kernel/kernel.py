@@ -49,7 +49,7 @@ from repro.kernel.process import AddressSpaceAllocator, Process
 from repro.kernel.program import Program
 from repro.kernel.thread import Thread, ThreadState
 from repro.sim.engine import EventQueue, ScheduledEvent, VirtualClock
-from repro.sim.trace import IDLE, Trace
+from repro.sim.trace import IDLE, KERNEL, Trace
 from repro.sync.condvar import ConditionVariable
 from repro.sync.emeralds_sem import EmeraldsSemaphore
 from repro.sync.parser import held_across_blocking, insert_hints
@@ -75,7 +75,13 @@ class Kernel:
             program at thread-creation time (the paper's compile-time
             pass).
         record_segments: Keep full Gantt segments in the trace (turn
-            off for long runs to save memory).
+            off for long runs to save memory).  Legacy switch:
+            ``False`` is shorthand for ``record="jobs-only"``.
+        record: Trace recording mode (``"full"``, ``"jobs-only"``, or
+            ``"off"``; see :mod:`repro.sim.trace`).  Overrides
+            ``record_segments`` when given.
+        max_trace_events: Ring-buffer cap on the trace event log
+            (``None`` = unbounded).
         stop_on_deadline_miss: Abort the run at the first deadline
             violation (used by breakdown-by-simulation experiments).
         fault_policy: ``"kill"`` (default) terminates a thread that
@@ -92,12 +98,19 @@ class Kernel:
         record_segments: bool = True,
         stop_on_deadline_miss: bool = False,
         fault_policy: str = "kill",
+        record: Optional[str] = None,
+        max_trace_events: Optional[int] = None,
     ):
         if sem_scheme not in ("emeralds", "standard"):
             raise ValueError(f"unknown semaphore scheme {sem_scheme!r}")
         if fault_policy not in ("kill", "raise"):
             raise ValueError(f"unknown fault policy {fault_policy!r}")
         self.scheduler = scheduler if scheduler is not None else EDFScheduler()
+        # True when the scheduler class keeps the base admit-everything
+        # policy; lets the per-release hot path skip the virtual call.
+        self._admits_all = (
+            type(self.scheduler).admit_release is Scheduler.admit_release
+        )
         self.model: OverheadModel = self.scheduler.model
         self.sem_scheme = sem_scheme
         self.auto_parse_hints = auto_parse_hints
@@ -106,7 +119,11 @@ class Kernel:
 
         self.clock = VirtualClock()
         self.events = EventQueue()
-        self.trace = Trace(record_segments=record_segments)
+        self.trace = Trace(
+            record_segments=record_segments,
+            record=record,
+            max_events=max_trace_events,
+        )
         self.interrupts = InterruptController(self)
         self.allocator = AddressSpaceAllocator()
 
@@ -134,6 +151,27 @@ class Kernel:
         #: Pending release events by thread name (cancelled on kill).
         self._release_events: Dict[str, ScheduledEvent] = {}
         self.syscall_count = 0
+        #: Engine events fired (releases, interrupts, timers, checks).
+        self.events_popped = 0
+        #: Scheduler invocations through the dispatcher.
+        self.dispatch_count = 0
+        #: Exact-class dispatch table for the op interpreter (bound
+        #: methods; built once per kernel, avoids the isinstance chain
+        #: on every kernel op).
+        self._op_handlers = {
+            ops.Acquire: self._op_acquire,
+            ops.Release: self._op_release,
+            ops.Wait: self._op_wait,
+            ops.Signal: self._op_signal,
+            ops.Send: self._op_send,
+            ops.Recv: self._op_recv,
+            ops.CvWait: self._op_cv_wait,
+            ops.CvSignal: self._op_cv_signal,
+            ops.CvBroadcast: self._op_cv_broadcast,
+            ops.StateWrite: self._op_state_write,
+            ops.Sleep: self._op_sleep,
+            ops.Call: self._op_call,
+        }
 
     # ------------------------------------------------------------------
     # time
@@ -144,18 +182,31 @@ class Kernel:
         return self.clock.now
 
     def charge(self, cost_ns: int, category: str) -> None:
-        """Consume ``cost_ns`` of CPU in kernel mode."""
+        """Consume ``cost_ns`` of CPU in kernel mode.
+
+        The trace bookkeeping (:meth:`repro.sim.trace.Trace.charge_kernel`)
+        is inlined: this is the single most-called kernel function, and
+        the extra call frame showed up as several percent of a run.
+        """
         if cost_ns <= 0:
             return
-        start = self.clock.now
-        self.clock.advance_by(cost_ns)
-        self.trace.charge_kernel(start, self.clock.now, category)
+        clock = self.clock
+        start = clock.now
+        end = start + cost_ns
+        clock.now = end
+        trace = self.trace
+        kernel_time = trace.kernel_time
+        kernel_time[category] = kernel_time.get(category, 0) + cost_ns
+        trace.kernel_time_total += cost_ns
+        if trace.record_segments:
+            trace.add_segment(start, end, KERNEL)
 
     def schedule_event(
         self, time: int, action: Callable[[], None], label: str = "event"
     ) -> ScheduledEvent:
         """Enqueue a raw engine event (releases, interrupts, timers)."""
-        return self.events.schedule(max(time, self.clock.now), action, label)
+        now = self.clock.now
+        return self.events.schedule(time if time > now else now, action, label)
 
     def request_reschedule(self) -> None:
         """Ask the dispatcher to re-evaluate after the current step."""
@@ -163,8 +214,18 @@ class Kernel:
 
     def priority_rank(self, thread: Thread) -> Tuple:
         """Urgency order used outside the scheduler queues (see
-        :meth:`repro.core.scheduler.Scheduler.priority_rank`)."""
-        return self.scheduler.priority_rank(thread)
+        :meth:`repro.core.scheduler.Scheduler.priority_rank`).
+
+        Memoized per thread: every site that changes a thread's urgency
+        (job start/retire, priority inheritance) invalidates the cached
+        rank, so the semaphore/mailbox/condvar tie-break paths pay a
+        dict-free attribute read instead of recomputing the tuple.
+        """
+        rank = thread.rank_cache
+        if rank is None:
+            rank = self.scheduler.priority_rank(thread)
+            thread.rank_cache = rank
+        return rank
 
     # ------------------------------------------------------------------
     # object creation
@@ -622,6 +683,7 @@ class Kernel:
         thread.blocked_on = None
         thread.pending_releases = 0
         thread.abs_deadline = None
+        thread.rank_cache = None
         thread.op_started = False
         thread.read_token = None
         thread.pending_hint = thread.period_hint
@@ -687,10 +749,11 @@ class Kernel:
     # periodic releases
     # ------------------------------------------------------------------
     def _schedule_release(self, thread: Thread, nominal: int) -> None:
-        self._release_events[thread.name] = self.schedule_event(
-            nominal,
+        now = self.clock.now
+        self._release_events[thread.name] = self.events.schedule(
+            nominal if nominal > now else now,
             lambda: self._on_release(thread, nominal),
-            label=f"release:{thread.name}",
+            thread.release_label,
         )
 
     def _on_release(self, thread: Thread, nominal: int) -> None:
@@ -703,17 +766,46 @@ class Kernel:
                 self.trace.note(self.now, "release-skipped-backoff", thread.name)
                 return
             thread.restart_until = None
-        if not self.scheduler.admit_release(thread, self.now):
-            self.trace.note(self.now, "release-shed", thread.name)
+        if not self._admits_all and not self.scheduler.admit_release(
+            thread, self.clock.now
+        ):
+            self.trace.note(self.clock.now, "release-shed", thread.name)
             return
         if thread.state == ThreadState.IDLE:
             thread.start_job(nominal)
             record = self.trace.job_released(
                 thread.name, nominal, thread.abs_deadline, thread.job_no
             )
-            self._arm_deadline_check(thread, record)
-            thread.pending_hint = thread.period_hint
-            self.deliver_unblock(thread)
+            if self._miss_handlers or self.stop_on_deadline_miss:
+                self._arm_deadline_check(thread, record)
+            hint = thread.period_hint
+            if hint is not None or thread.suspended:
+                thread.pending_hint = hint
+                self.deliver_unblock(thread)
+                return
+            # Common case (no parser hint, not suspended) inlined:
+            # deliver_unblock -> unblock_thread -> on_unblock -> charge
+            # is four frames deep, and periodic releases pay it on
+            # every job.  Must mirror those methods exactly.
+            thread.pending_hint = None
+            thread.state = ThreadState.READY
+            thread.blocked_on = None
+            sched = self.scheduler
+            cost = sched._unblock(thread)
+            stats = sched.stats
+            stats.unblocks += 1
+            stats.charged_unblock_ns += cost
+            if cost > 0:
+                clock = self.clock
+                start = clock.now
+                clock.now = start + cost
+                trace = self.trace
+                kernel_time = trace.kernel_time
+                kernel_time["sched"] = kernel_time.get("sched", 0) + cost
+                trace.kernel_time_total += cost
+                if trace.record_segments:
+                    trace.add_segment(start, start + cost, KERNEL)
+            self._dispatch()
         else:
             thread.pending_releases += 1
             self.trace.note(self.now, "release-overrun", thread.name)
@@ -726,6 +818,8 @@ class Kernel:
         trace gets a ``deadline-miss-detected`` note, the registered
         handler (if any) fires, and ``stop_on_deadline_miss`` aborts
         the run -- detection happens on the timeline, not post-hoc."""
+        if not self._miss_handlers and not self.stop_on_deadline_miss:
+            return
         handler = self._miss_handlers.get(thread.name)
         if record is None or record.deadline is None:
             return
@@ -750,7 +844,9 @@ class Kernel:
 
     def _complete_job(self, thread: Thread) -> None:
         thread.completed_jobs += 1
-        record = self.trace.job_completed(thread.name, thread.job_no, self.now)
+        record = self.trace.job_completed(
+            thread.name, thread.job_no, self.clock.now
+        )
         if (
             self.stop_on_deadline_miss
             and record is not None
@@ -773,13 +869,29 @@ class Kernel:
             record = self.trace.job_released(
                 thread.name, nominal, thread.abs_deadline, thread.job_no
             )
-            self._arm_deadline_check(thread, record)
+            if self._miss_handlers or self.stop_on_deadline_miss:
+                self._arm_deadline_check(thread, record)
             return  # stays ready; next job starts immediately
         thread.state = ThreadState.BLOCKED
         thread.blocked_on = "period" if thread.periodic else "activation"
         thread.abs_deadline = None
-        cost = self.scheduler.on_block(thread)
-        self.charge(cost, "sched")
+        thread.rank_cache = None
+        # Inlined scheduler.on_block + charge (this runs once per job).
+        sched = self.scheduler
+        cost = sched._block(thread)
+        stats = sched.stats
+        stats.blocks += 1
+        stats.charged_block_ns += cost
+        if cost > 0:
+            clock = self.clock
+            start = clock.now
+            clock.now = start + cost
+            trace = self.trace
+            kernel_time = trace.kernel_time
+            kernel_time["sched"] = kernel_time.get("sched", 0) + cost
+            trace.kernel_time_total += cost
+            if trace.record_segments:
+                trace.add_segment(start, start + cost, KERNEL)
         thread.state = ThreadState.IDLE
         thread.pending_hint = thread.period_hint
         self._need_resched = True
@@ -790,20 +902,51 @@ class Kernel:
     def _dispatch(self) -> None:
         """Run the scheduler (charging ``t_s``) and switch if needed."""
         self._need_resched = False
-        selected, cost = self.scheduler.select()
-        self.charge(cost, "sched")
+        self.dispatch_count += 1
+        # Inlined scheduler.select() (the stats wrapper): one frame per
+        # dispatch, and _dispatch runs twice per job.
+        sched = self.scheduler
+        selected, cost = sched._select()
+        stats = sched.stats
+        stats.selects += 1
+        stats.charged_select_ns += cost
+        if cost > 0:
+            # Inlined self.charge(cost, "sched"): one call frame per
+            # dispatch is real money at this call rate.
+            clock = self.clock
+            start = clock.now
+            end = start + cost
+            clock.now = end
+            trace = self.trace
+            kernel_time = trace.kernel_time
+            kernel_time["sched"] = kernel_time.get("sched", 0) + cost
+            trace.kernel_time_total += cost
+            if trace.record_segments:
+                trace.add_segment(start, end, KERNEL)
         new = selected if isinstance(selected, Thread) else None
         if new is self.running:
             return
         old = self.running
-        self.charge(self.model.context_switch_ns, "context-switch")
+        cs = self.model.context_switch_ns
+        if cs > 0:
+            clock = self.clock
+            start = clock.now
+            clock.now = start + cs
+            trace = self.trace
+            kernel_time = trace.kernel_time
+            kernel_time["context-switch"] = (
+                kernel_time.get("context-switch", 0) + cs
+            )
+            trace.kernel_time_total += cs
+            if trace.record_segments:
+                trace.add_segment(start, start + cs, KERNEL)
         if old is not None and old.state == ThreadState.RUNNING:
             old.state = ThreadState.READY
         if new is not None:
             new.state = ThreadState.RUNNING
         self.running = new
         self.trace.context_switch(
-            self.now, old.name if old else None, new.name if new else None
+            self.clock.now, old.name if old else None, new.name if new else None
         )
 
     def _dispatch_if_needed(self) -> None:
@@ -818,50 +961,79 @@ class Kernel:
         if t_end < self.now:
             raise ValueError("cannot run into the past")
         self._stop = False
-        while not self._stop:
-            self._drain_due_events()
-            self._dispatch_if_needed()
-            if self.now >= t_end:
-                break
-            if self.running is None:
-                nxt = self.events.peek_time()
-                if nxt is None or nxt >= t_end:
-                    self.trace.add_segment(self.now, t_end, IDLE)
-                    self.clock.advance_to(t_end)
+        # The loop below is the simulator's hottest code: bind the
+        # pieces it touches every iteration to locals once, and inline
+        # the event drain (one pop_due call per iteration instead of a
+        # drain call plus a pop_due call).
+        clock = self.clock
+        events = self.events
+        trace = self.trace
+        pop_due = events.pop_due
+        step = self._step_running
+        popped = 0
+        try:
+            while not self._stop:
+                while True:
+                    # Fast peek before paying the pop_due call: most
+                    # rounds find nothing due.  Re-read _heap and the
+                    # clock each round (compaction rebinds the heap;
+                    # firing an action charges kernel time, making
+                    # further events due).  A cancelled head passes the
+                    # peek; pop_due trims it and settles the question.
+                    heap = events._heap
+                    if not heap or heap[0][0] > clock.now:
+                        break
+                    event = pop_due(clock.now)
+                    if event is None:
+                        break
+                    popped += 1
+                    event.action()
+                if self._need_resched:
+                    self._dispatch()
+                if clock.now >= t_end:
                     break
-                self.trace.add_segment(self.now, nxt, IDLE)
-                self.clock.advance_to(nxt)
-                continue
-            self._step_running(t_end)
+                if self.running is None:
+                    # Coalesce the whole idle gap into one clock jump:
+                    # no thread can become runnable before the next
+                    # event.
+                    nxt = events.peek_time()
+                    if nxt is None or nxt >= t_end:
+                        trace.add_segment(clock.now, t_end, IDLE)
+                        clock.now = t_end
+                        break
+                    trace.add_segment(clock.now, nxt, IDLE)
+                    clock.now = nxt
+                    continue
+                step(t_end)
+        finally:
+            self.events_popped += popped
         return self.trace
 
     def run_for(self, duration: int) -> Trace:
         """Advance virtual time by ``duration`` ns."""
         return self.run_until(self.now + duration)
 
-    def _drain_due_events(self) -> None:
-        while True:
-            event = self.events.pop_due(self.now)
-            if event is None:
-                return
-            event.action()
-
     def _step_running(self, t_end: int) -> None:
         thread = self.running
         assert thread is not None
-        op = thread.current_op()
-        if op is None:
+        # Inlined thread.current_op(): one call frame per step.
+        pc = thread.pc
+        if pc >= thread._ops_len:
             self._complete_job(thread)
-            self._dispatch_if_needed()
+            if self._need_resched:
+                self._dispatch()
             return
-        if isinstance(op, (ops.Compute, ops.StateRead)):
+        op = thread._ops[pc]
+        cls = op.__class__
+        if cls is ops.Compute or cls is ops.StateRead:
             self._step_timed(thread, op, t_end)
             return
         try:
             self._execute_op(thread, op)
         except ProtectionFault as fault:
             self._handle_fault(thread, fault)
-        self._dispatch_if_needed()
+        if self._need_resched:
+            self._dispatch()
 
     def _handle_fault(self, thread: Thread, fault: "ProtectionFault") -> None:
         """A memory-protection violation terminates the offending
@@ -880,9 +1052,10 @@ class Kernel:
     # timed (preemptible) ops: Compute and slot-copying StateRead
     # ------------------------------------------------------------------
     def _step_timed(self, thread: Thread, op, t_end: int) -> None:
+        is_state_read = op.__class__ is ops.StateRead
         if not thread.op_started:
             thread.op_started = True
-            if isinstance(op, ops.StateRead):
+            if is_state_read:
                 channel = self._channel(op.channel)
                 self.charge(self.model.state_msg_read_ns, "state-msg")
                 if op.duration == 0:
@@ -903,26 +1076,47 @@ class Kernel:
                 if thread.remaining == 0:
                     self._finish_op(thread)
                     return
-        if self._budget_exhausted(thread) and self._enforce_budget(thread):
+        if (
+            thread.budget_ns is not None
+            and self._budget_exhausted(thread)
+            and self._enforce_budget(thread)
+        ):
             return  # the job is gone; do not step the dead op
-        horizon = self.events.peek_time()
-        limit = t_end if horizon is None else min(t_end, horizon)
+        clock = self.clock
+        now = clock.now
+        # Inlined self.events.peek_time() fast path; fall back to the
+        # real method when the heap head is a cancelled entry (its time
+        # could be earlier than the true next event's).
+        heap = self.events._heap
+        if heap:
+            head = heap[0]
+            horizon = head[0] if not head[2].cancelled else self.events.peek_time()
+        else:
+            horizon = None
+        limit = t_end if horizon is None or horizon > t_end else horizon
         if thread.budget_ns is not None and not thread.budget_fired:
             # Stop exactly at budget exhaustion, even with no event due.
-            limit = min(limit, self.now + thread.budget_ns - thread.job_exec_ns)
-        if limit <= self.now:
+            budget_limit = now + thread.budget_ns - thread.job_exec_ns
+            if budget_limit < limit:
+                limit = budget_limit
+        if limit <= now:
             return  # an event is due; the main loop drains it first
-        run = min(thread.remaining, limit - self.now)
-        start = self.now
-        self.clock.advance_by(run)
-        self.trace.add_segment(start, self.now, thread.name)
-        thread.remaining -= run
+        run = limit - now
+        remaining = thread.remaining
+        if remaining < run:
+            run = remaining
+        end = now + run
+        clock.now = end
+        trace = self.trace
+        if trace.record_segments:
+            trace.add_segment(now, end, thread.name)
+        thread.remaining = remaining - run
         thread.job_exec_ns += run
         if thread.remaining > 0:
-            if self._budget_exhausted(thread):
+            if thread.budget_ns is not None and self._budget_exhausted(thread):
                 self._enforce_budget(thread)
             return
-        if isinstance(op, ops.StateRead):
+        if is_state_read:
             channel = self._channel(op.channel)
             try:
                 thread.last_read = channel.end_read(thread.read_token)
@@ -933,7 +1127,9 @@ class Kernel:
                 thread.remaining = op.duration
                 return
             thread.read_token = None
-        self._finish_op(thread)
+        # Inlined self._finish_op(thread); remaining is already 0 here.
+        thread.pc += 1
+        thread.op_started = False
 
     def _finish_op(self, thread: Thread) -> None:
         thread.pc += 1
@@ -944,68 +1140,80 @@ class Kernel:
     # kernel op interpreter
     # ------------------------------------------------------------------
     def _execute_op(self, thread: Thread, op) -> None:
-        if isinstance(op, ops.Acquire):
-            self._charge_syscall()
-            self._semaphore(op.sem).acquire(self, thread)
-            self._finish_op(thread)
-        elif isinstance(op, ops.Release):
-            self._charge_syscall()
-            self._semaphore(op.sem).release(self, thread)
-            self._finish_op(thread)
-        elif isinstance(op, ops.Wait):
-            self._charge_syscall()
-            self._event(op.event).wait(self, thread, hint=op.hint)
-            self._finish_op(thread)
-        elif isinstance(op, ops.Signal):
-            self._charge_syscall()
-            self._event(op.event).signal(self)
-            self._finish_op(thread)
-        elif isinstance(op, ops.Send):
-            self._charge_syscall()
-            done = self._mailbox(op.mailbox).send(
-                self, thread, op.payload, op.size, buffer=op.buffer
-            )
-            if done:
-                self._finish_op(thread)
-            # else: the op re-executes when a slot frees up
-        elif isinstance(op, ops.Recv):
-            self._charge_syscall()
-            self._mailbox(op.mailbox).recv(
-                self, thread, buffer=op.buffer, hint=op.hint
-            )
-            self._finish_op(thread)
-        elif isinstance(op, ops.CvWait):
-            self._charge_syscall()
-            self._condvar(op.condvar).wait(self, thread, op.mutex)
-            self._finish_op(thread)
-        elif isinstance(op, ops.CvSignal):
-            self._charge_syscall()
-            self._condvar(op.condvar).signal(self, thread)
-            self._finish_op(thread)
-        elif isinstance(op, ops.CvBroadcast):
-            self._charge_syscall()
-            self._condvar(op.condvar).broadcast(self, thread)
-            self._finish_op(thread)
-        elif isinstance(op, ops.StateWrite):
-            # User-level: no kernel trap, only the slot write cost.
-            self.charge(self.model.state_msg_write_ns, "state-msg")
-            self._channel(op.channel).write(op.value, writer_name=thread.name)
-            self._finish_op(thread)
-        elif isinstance(op, ops.Sleep):
-            self._charge_syscall()
-            thread.pending_hint = op.hint
-            wake_at = self.now + op.duration
-            self.schedule_event(
-                wake_at, lambda: self.deliver_unblock(thread), f"wake:{thread.name}"
-            )
-            self.block_thread(thread, "sleep")
-            self._finish_op(thread)
-        elif isinstance(op, ops.Call):
-            self._charge_syscall()
-            op.fn(self, thread)
-            self._finish_op(thread)
-        else:
+        handler = self._op_handlers.get(op.__class__)
+        if handler is None:
             raise KernelError(f"unknown op {op!r}")
+        handler(thread, op)
+
+    def _op_acquire(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._semaphore(op.sem).acquire(self, thread)
+        self._finish_op(thread)
+
+    def _op_release(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._semaphore(op.sem).release(self, thread)
+        self._finish_op(thread)
+
+    def _op_wait(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._event(op.event).wait(self, thread, hint=op.hint)
+        self._finish_op(thread)
+
+    def _op_signal(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._event(op.event).signal(self)
+        self._finish_op(thread)
+
+    def _op_send(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        done = self._mailbox(op.mailbox).send(
+            self, thread, op.payload, op.size, buffer=op.buffer
+        )
+        if done:
+            self._finish_op(thread)
+        # else: the op re-executes when a slot frees up
+
+    def _op_recv(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._mailbox(op.mailbox).recv(self, thread, buffer=op.buffer, hint=op.hint)
+        self._finish_op(thread)
+
+    def _op_cv_wait(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._condvar(op.condvar).wait(self, thread, op.mutex)
+        self._finish_op(thread)
+
+    def _op_cv_signal(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._condvar(op.condvar).signal(self, thread)
+        self._finish_op(thread)
+
+    def _op_cv_broadcast(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        self._condvar(op.condvar).broadcast(self, thread)
+        self._finish_op(thread)
+
+    def _op_state_write(self, thread: Thread, op) -> None:
+        # User-level: no kernel trap, only the slot write cost.
+        self.charge(self.model.state_msg_write_ns, "state-msg")
+        self._channel(op.channel).write(op.value, writer_name=thread.name)
+        self._finish_op(thread)
+
+    def _op_sleep(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        thread.pending_hint = op.hint
+        wake_at = self.now + op.duration
+        self.schedule_event(
+            wake_at, lambda: self.deliver_unblock(thread), f"wake:{thread.name}"
+        )
+        self.block_thread(thread, "sleep")
+        self._finish_op(thread)
+
+    def _op_call(self, thread: Thread, op) -> None:
+        self._charge_syscall()
+        op.fn(self, thread)
+        self._finish_op(thread)
 
     def _charge_syscall(self) -> None:
         self.syscall_count += 1

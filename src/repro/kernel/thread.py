@@ -65,6 +65,9 @@ class Thread(Schedulable):
     __slots__ = (
         "spec",
         "program",
+        "_ops",
+        "_ops_len",
+        "release_label",
         "process",
         "state",
         "pc",
@@ -127,6 +130,14 @@ class Thread(Schedulable):
         super().__init__(name, base_key)
         self.spec = spec
         self.program = program
+        # Programs are immutable; cache the op tuple and its length so
+        # current_op() is two attribute reads, not a __len__/__getitem__
+        # protocol round-trip per step.
+        self._ops = program.ops
+        self._ops_len = len(self._ops)
+        #: Event label for this thread's periodic releases (built once;
+        #: releases are scheduled once per period per thread).
+        self.release_label = f"release:{name}"
         self.process = process
         if process is not None:
             process.threads.append(self)
@@ -224,9 +235,10 @@ class Thread(Schedulable):
 
     def current_op(self):
         """The op at the program counter, or ``None`` past the end."""
-        if self.pc >= len(self.program):
+        pc = self.pc
+        if pc >= self._ops_len:
             return None
-        return self.program[self.pc]
+        return self._ops[pc]
 
     def start_job(self, release_time: int) -> None:
         """Reset program state for a new activation."""
@@ -242,6 +254,7 @@ class Thread(Schedulable):
             self.abs_deadline = release_time + self.relative_deadline
         else:
             self.abs_deadline = None
+        self.rank_cache = None
 
     def __repr__(self) -> str:
         return (

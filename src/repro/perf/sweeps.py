@@ -1,0 +1,87 @@
+"""Deterministic parallel sweep runner.
+
+Workload sweeps (Figures 3-5, the fault sweeps, seed batteries) are
+embarrassingly parallel: every point is a pure function of its own
+parameters, including its own seed.  :func:`parallel_map` fans such
+points out over a ``multiprocessing`` pool while keeping the results
+**bit-identical to the serial run**:
+
+* results come back in submission order (``Pool.map`` preserves it);
+* every item carries its own seed in its arguments, so the outcome
+  never depends on which worker computed it or in what order;
+* the serial path runs the very same function, so ``workers=1`` is
+  the reference implementation.
+
+The pool uses the ``fork`` start method (cheap, and lets benchmark
+scripts pass module-level functions defined in ``__main__``).  Where
+``fork`` is unavailable (non-POSIX platforms) the runner silently
+degrades to the serial path -- a gate, not a new dependency.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["resolve_workers", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment knob: default worker count for benchmark sweeps
+#: (0 = one per CPU).
+WORKERS_ENV = "REPRO_BENCH_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Turn a worker request into a concrete count.
+
+    ``None`` falls back to the ``REPRO_BENCH_WORKERS`` environment
+    variable, then to 1 (serial).  ``0`` means one worker per CPU.
+    Negative values are an error.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "")
+        workers = int(raw) if raw else 1
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative (got {workers})")
+    if workers == 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return None
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items``, optionally across processes.
+
+    The result list is in item order regardless of worker scheduling.
+    ``fn`` must be a module-level (picklable) function and must be a
+    pure function of its item -- in particular any randomness must be
+    seeded from the item itself, never from global state.
+    """
+    items = list(items)
+    count = resolve_workers(workers)
+    if count <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    context = _fork_context()
+    if context is None:
+        return [fn(item) for item in items]
+    count = min(count, len(items))
+    if chunksize is None:
+        # A few chunks per worker balances load without drowning the
+        # pool in tiny tasks.
+        chunksize = max(1, len(items) // (count * 4))
+    with context.Pool(processes=count) as pool:
+        return pool.map(fn, items, chunksize)

@@ -13,6 +13,15 @@ The ``faults`` subcommand (an extension beyond the paper) runs the
 chaos harness instead::
 
     python -m repro.reproduce faults --seed 42 --wcet-overrun 0.1
+
+The ``perf`` subcommand measures simulator throughput on the canonical
+workload and maintains the persistent perf trajectory::
+
+    python -m repro.reproduce perf --append BENCH_kernel.json --check BENCH_kernel.json
+
+The ``bench`` subcommand runs the benchmark suite (or a selection)::
+
+    python -m repro.reproduce bench all --workers 4
 """
 
 from __future__ import annotations
@@ -354,6 +363,176 @@ def run_faults(argv: List[str]) -> int:
     return 0
 
 
+def run_perf(argv: List[str]) -> int:
+    """The ``perf`` subcommand: the canonical throughput measurement.
+
+    Measures the ``bench_kernel_overhead`` workload (EDF / RM / CSD-3,
+    2 s of virtual time each), prints the counter report and the
+    full-mode trace signatures, and optionally appends to / checks
+    against the persistent perf trajectory (``BENCH_kernel.json``).
+    """
+    from repro.perf.profiler import profile_call
+    from repro.perf.trajectory import (
+        DEFAULT_MAX_REGRESSION,
+        RegressionError,
+        append_entry,
+        check_regression,
+        config_hash,
+        make_entry,
+    )
+    from repro.perf.workloads import (
+        full_signatures,
+        run_throughput,
+        throughput_config,
+    )
+    from repro.sim.trace import RECORD_MODES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce perf",
+        description="Measure simulator throughput on the canonical workload.",
+    )
+    parser.add_argument(
+        "--mode", choices=RECORD_MODES, default="jobs-only",
+        help="trace recording mode for the timed runs",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="pooled repetitions of the three policy runs",
+    )
+    parser.add_argument(
+        "--label", default="perf-cli", help="label recorded in the entry"
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="also cProfile the run and print the hottest functions",
+    )
+    parser.add_argument(
+        "--append", metavar="PATH", default=None,
+        help="append the measurement to this trajectory file",
+    )
+    parser.add_argument(
+        "--check", metavar="PATH", default=None,
+        help="fail when throughput regressed vs this trajectory's baseline",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="allowed fractional drop below baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-signatures", action="store_true",
+        help="skip the full-mode signature cross-check runs",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error(f"--repeats must be positive (got {args.repeats})")
+
+    report = run_throughput(args.mode, repeats=args.repeats, label=args.label)
+    print(report.render())
+
+    signatures = None
+    if not args.no_signatures:
+        signatures = full_signatures()
+        print("full-trace signatures (must not move across optimizations):")
+        for policy, signature in signatures.items():
+            print(f"  {policy:>6}: {signature}")
+
+    if args.profile:
+        _, text = profile_call(run_throughput, args.mode, limit=20)
+        print()
+        print(text)
+
+    config = throughput_config(args.mode)
+    if args.check is not None:
+        try:
+            baseline = check_regression(
+                args.check,
+                report.throughput_sim_ns_per_s,
+                config_hash(config),
+                max_regression=args.max_regression,
+            )
+        except RegressionError as exc:
+            print(f"REGRESSION: {exc}", file=sys.stderr)
+            return 1
+        if baseline is None:
+            print(f"no comparable baseline in {args.check}; check skipped")
+        else:
+            base = float(baseline["throughput_sim_ns_per_s"])
+            delta = 100 * (report.throughput_sim_ns_per_s - base) / base
+            print(
+                f"vs baseline {baseline.get('label')!r} "
+                f"({base / 1e9:.2f}e9): {delta:+.1f}%"
+            )
+    if args.append is not None:
+        entry = make_entry(args.label, report.as_dict(), config, signatures)
+        append_entry(args.append, entry)
+        print(f"appended to {args.append} (config {entry['config_hash']})")
+    return 0
+
+
+def run_bench(argv: List[str]) -> int:
+    """The ``bench`` subcommand: run the benchmark suite.
+
+    ``bench all`` runs every benchmark; ``bench fig3 kernel_overhead``
+    runs a selection (names map to ``benchmarks/bench_<name>.py``).
+    The shared ``--seed/--out/--workers/--record`` flags configure the
+    runs via the environment knobs in ``benchmarks/common.py``.
+    """
+    from pathlib import Path
+
+    bench_dir = Path(__file__).parent.parent.parent / "benchmarks"
+    available = sorted(
+        p.stem[len("bench_"):] for p in bench_dir.glob("bench_*.py")
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce bench",
+        description="Run the benchmark suite (or a selection).",
+    )
+    parser.add_argument(
+        "names", nargs="+",
+        help=f"benchmarks to run, or 'all'; available: {', '.join(available)}",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--out", default=None)
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument(
+        "--record", choices=("full", "jobs-only", "off"), default=None
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="pass --smoke to CLI-style benchmarks (e.g. faults)",
+    )
+    args = parser.parse_args(argv)
+
+    names = available if "all" in args.names else args.names
+    unknown = [n for n in names if n not in available]
+    if unknown:
+        parser.error(f"unknown benchmarks: {', '.join(unknown)}")
+
+    sys.path.insert(0, str(bench_dir))
+    from common import apply_bench_args  # noqa: E402  (benchmarks/common.py)
+
+    apply_bench_args(args)
+    pytest_files: List[str] = []
+    exit_code = 0
+    for name in names:
+        path = bench_dir / f"bench_{name}.py"
+        source = path.read_text()
+        if "def main(" in source and 'if __name__ == "__main__"' in source:
+            # CLI-style benchmark: call its main() in-process.
+            module = __import__(f"bench_{name}")
+            cli_args = ["--smoke"] if args.smoke else []
+            code = module.main(cli_args)
+            exit_code = exit_code or code
+        else:
+            pytest_files.append(str(path))
+    if pytest_files:
+        import pytest
+
+        code = pytest.main(["-q", "-p", "no:cacheprovider", *pytest_files])
+        exit_code = exit_code or int(code)
+    return exit_code
+
+
 TARGETS: Dict[str, Callable[[bool], None]] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -375,6 +554,10 @@ def main(argv: List[str] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "faults":
         return run_faults(raw[1:])
+    if raw and raw[0] == "perf":
+        return run_perf(raw[1:])
+    if raw and raw[0] == "bench":
+        return run_bench(raw[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the EMERALDS paper's tables and figures."
     )

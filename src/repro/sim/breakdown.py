@@ -313,6 +313,25 @@ class FigureSeries:
         return out
 
 
+def _figure_cell(args: Tuple) -> float:
+    """One (task count, policy) cell of a figure: the average breakdown
+    utilization in percent.
+
+    Module-level (not a closure) so :func:`repro.perf.sweeps.parallel_map`
+    can ship it to worker processes; each worker regenerates its
+    workloads deterministically from the seed, so results are identical
+    at any worker count.
+    """
+    n, policy, workloads_per_point, seed, period_divisor, model, blocking = args
+    workloads = generate_base_workloads(n, workloads_per_point, seed=seed)
+    if period_divisor != 1:
+        workloads = [w.with_periods_divided(period_divisor) for w in workloads]
+    total = 0.0
+    for w in workloads:
+        total += breakdown_utilization(w, policy, model, blocking).utilization
+    return 100.0 * total / len(workloads)
+
+
 def figure_series(
     task_counts: Sequence[int],
     policies: Sequence[str],
@@ -322,6 +341,7 @@ def figure_series(
     model: Optional[OverheadModel] = None,
     blocking_factor: float = BLOCKING_FACTOR,
     progress: Optional[Callable[[str], None]] = None,
+    workers: Optional[int] = None,
 ) -> FigureSeries:
     """Compute one of Figures 3-5.
 
@@ -336,11 +356,16 @@ def figure_series(
         model: Overhead model; default is the paper's MC68040 table.
         blocking_factor: Section 5.1 blocking multiplier.
         progress: Optional callback receiving progress strings.
+        workers: Worker processes for the (n, policy) grid; ``None``
+            honors ``REPRO_BENCH_WORKERS`` (default serial), ``0``
+            means one per CPU.  Results are identical at any count.
 
     Returns:
         A :class:`FigureSeries` with average breakdown utilization in
         percent for each policy and task count.
     """
+    from repro.perf.sweeps import parallel_map
+
     model = model if model is not None else OverheadModel()
     series = FigureSeries(
         task_counts=list(task_counts),
@@ -348,18 +373,15 @@ def figure_series(
         workloads_per_point=workloads_per_point,
         values={p: [] for p in policies},
     )
-    for n in task_counts:
-        workloads = generate_base_workloads(n, workloads_per_point, seed=seed)
-        if period_divisor != 1:
-            workloads = [w.with_periods_divided(period_divisor) for w in workloads]
-        for policy in policies:
-            total = 0.0
-            for w in workloads:
-                total += breakdown_utilization(
-                    w, policy, model, blocking_factor
-                ).utilization
-            average = 100.0 * total / len(workloads)
-            series.values[policy].append(average)
-            if progress is not None:
-                progress(f"n={n} {policy}: {average:.1f}%")
+    cells = [
+        (n, policy, workloads_per_point, seed, period_divisor, model, blocking_factor)
+        for n in task_counts
+        for policy in policies
+    ]
+    averages = parallel_map(_figure_cell, cells, workers=workers)
+    for cell, average in zip(cells, averages):
+        n, policy = cell[0], cell[1]
+        series.values[policy].append(average)
+        if progress is not None:
+            progress(f"n={n} {policy}: {average:.1f}%")
     return series

@@ -54,19 +54,25 @@ def build_kernel(
     splits: Optional[Sequence[int]] = None,
     record_segments: bool = True,
     stop_on_deadline_miss: bool = False,
+    record: Optional[str] = None,
+    max_trace_events: Optional[int] = None,
 ) -> Kernel:
     """Create a kernel running ``workload`` under ``policy``.
 
     For CSD policies, ``splits`` gives the queue allocation (cumulative
     split points in RM order, as in
     :func:`repro.core.schedulability.csd_schedulable`); everything past
-    the last split lands on the FP queue.
+    the last split lands on the FP queue.  ``record`` selects the trace
+    recording mode (see :mod:`repro.sim.trace`), overriding the legacy
+    ``record_segments`` switch when given.
     """
     scheduler = make_scheduler(policy, model, splits)
     kernel = Kernel(
         scheduler,
         record_segments=record_segments,
         stop_on_deadline_miss=stop_on_deadline_miss,
+        record=record,
+        max_trace_events=max_trace_events,
     )
     queue_of = {}
     if policy.startswith("csd-"):
@@ -111,6 +117,8 @@ def simulate_workload(
     splits: Optional[Sequence[int]] = None,
     record_segments: bool = True,
     stop_on_deadline_miss: bool = False,
+    record: Optional[str] = None,
+    max_trace_events: Optional[int] = None,
 ) -> Tuple[Kernel, Trace]:
     """Run ``workload`` and return the kernel plus its trace.
 
@@ -125,6 +133,8 @@ def simulate_workload(
         splits,
         record_segments=record_segments,
         stop_on_deadline_miss=stop_on_deadline_miss,
+        record=record,
+        max_trace_events=max_trace_events,
     )
     horizon = duration if duration is not None else hyperperiod(workload)
     trace = kernel.run_until(horizon)

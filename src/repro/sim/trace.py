@@ -4,51 +4,98 @@ The trace is how experiments observe the kernel: every context switch,
 deadline miss, and nanosecond of kernel overhead (by category) is
 recorded here.  :meth:`Trace.gantt_ascii` renders schedules like the
 paper's Figure 2.
+
+Recording modes
+---------------
+
+Tracing sits on the simulator's hottest path, so what gets *stored*
+is switchable (what gets *counted* -- context switches, kernel time by
+category, idle time -- is always maintained; the counters are plain
+integer adds):
+
+* ``"full"`` -- everything: point events, job records, Gantt segments.
+* ``"jobs-only"`` -- job records only; point events and segments are
+  discarded as they arrive.  Deadline accounting
+  (:meth:`Trace.misses`, :meth:`Trace.deadline_violations`) still
+  works; this is the mode for long throughput runs.
+* ``"off"`` -- counters only; nothing is stored.
+
+Even at ``"full"``, the event log can be capped with ``max_events``:
+the log becomes a ring buffer keeping the newest events, and the trace
+marks itself truncated (:attr:`Trace.events_dropped`,
+:meth:`Trace.event_log` prepends an explicit ``<truncated>`` marker)
+instead of growing without bound.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass
+import hashlib
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
 from repro.timeunits import to_ms, to_us
 
-__all__ = ["Trace", "Segment", "JobRecord"]
+__all__ = ["Trace", "Segment", "JobRecord", "RECORD_MODES"]
 
 #: Pseudo-thread names used in execution segments.
 IDLE = "<idle>"
 KERNEL = "<kernel>"
 
+#: Valid trace recording modes, most to least detailed.
+RECORD_MODES = ("full", "jobs-only", "off")
 
-@dataclass
+#: Kind tag of the marker entry :meth:`Trace.event_log` prepends when
+#: the ring buffer dropped events.
+TRUNCATED = "<truncated>"
+
+
 class Segment:
     """A half-open interval ``[start, end)`` of CPU time.
 
     ``who`` is a thread name, or :data:`IDLE`/:data:`KERNEL`.
     """
 
-    start: int
-    end: int
-    who: str
+    __slots__ = ("start", "end", "who")
+
+    def __init__(self, start: int, end: int, who: str):
+        self.start = start
+        self.end = end
+        self.who = who
 
     @property
     def duration(self) -> int:
         return self.end - self.start
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Segment):
+            return NotImplemented
+        return (self.start, self.end, self.who) == (other.start, other.end, other.who)
 
-@dataclass
+    def __repr__(self) -> str:
+        return f"Segment(start={self.start}, end={self.end}, who={self.who!r})"
+
+
 class JobRecord:
     """One job (periodic activation) of a thread."""
 
-    thread: str
-    release: int
-    deadline: Optional[int]
-    completion: Optional[int] = None
-    #: Abandoned before completion (budget enforcement, crash, restart).
-    #: The record keeps ``completion=None``, so an overdue aborted job
-    #: still counts as a deadline violation.
-    aborted: bool = False
+    __slots__ = ("thread", "release", "deadline", "completion", "aborted")
+
+    def __init__(
+        self,
+        thread: str,
+        release: int,
+        deadline: Optional[int],
+        completion: Optional[int] = None,
+        aborted: bool = False,
+    ):
+        self.thread = thread
+        self.release = release
+        self.deadline = deadline
+        self.completion = completion
+        #: Abandoned before completion (budget enforcement, crash,
+        #: restart).  The record keeps ``completion=None``, so an
+        #: overdue aborted job still counts as a deadline violation.
+        self.aborted = aborted
 
     @property
     def missed(self) -> bool:
@@ -63,17 +110,82 @@ class JobRecord:
             return None
         return self.completion - self.release
 
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, JobRecord):
+            return NotImplemented
+        return (
+            self.thread, self.release, self.deadline, self.completion, self.aborted
+        ) == (
+            other.thread, other.release, other.deadline, other.completion, other.aborted
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"JobRecord(thread={self.thread!r}, release={self.release}, "
+            f"deadline={self.deadline}, completion={self.completion}, "
+            f"aborted={self.aborted})"
+        )
+
 
 class Trace:
-    """Accumulates everything observable about one kernel run."""
+    """Accumulates everything observable about one kernel run.
 
-    def __init__(self, record_segments: bool = True):
-        self.record_segments = record_segments
+    Args:
+        record_segments: Legacy switch; ``False`` is shorthand for
+            ``record="jobs-only"``.
+        record: Recording mode (see module docstring); overrides
+            ``record_segments`` when given.
+        max_events: Cap on the stored event log; ``None`` = unbounded.
+            When the cap is hit the oldest events are dropped and the
+            trace is marked truncated.
+    """
+
+    __slots__ = (
+        "record",
+        "record_segments",
+        "_record_events",
+        "_record_jobs",
+        "max_events",
+        "segments",
+        "jobs",
+        "events",
+        "events_dropped",
+        "context_switches",
+        "kernel_time",
+        "kernel_time_total",
+        "idle_time",
+        "_open_jobs",
+    )
+
+    def __init__(
+        self,
+        record_segments: bool = True,
+        record: Optional[str] = None,
+        max_events: Optional[int] = None,
+    ):
+        if record is None:
+            record = "full" if record_segments else "jobs-only"
+        if record not in RECORD_MODES:
+            raise ValueError(
+                f"unknown record mode {record!r} (expected one of {RECORD_MODES})"
+            )
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive (got {max_events})")
+        self.record = record
+        self.record_segments = record == "full"
+        self._record_events = record == "full"
+        self._record_jobs = record != "off"
+        self.max_events = max_events
         self.segments: List[Segment] = []
         self.jobs: List[JobRecord] = []
-        self.events: List[Tuple[int, str, str]] = []
+        self.events: deque = deque(maxlen=max_events)
+        #: Events discarded by the ring buffer (oldest-first).
+        self.events_dropped = 0
         self.context_switches = 0
-        self.kernel_time: Dict[str, int] = defaultdict(int)
+        self.kernel_time: Dict[str, int] = {}
+        #: Running total of :attr:`kernel_time` (plain attribute so the
+        #: hot path pays one add, not a sum over categories per query).
+        self.kernel_time_total = 0
         self.idle_time = 0
         self._open_jobs: Dict[Tuple[str, int], JobRecord] = {}
 
@@ -88,24 +200,42 @@ class Trace:
             self.idle_time += end - start
         if not self.record_segments:
             return
-        if self.segments and self.segments[-1].who == who and self.segments[-1].end == start:
-            self.segments[-1].end = end
-        else:
-            self.segments.append(Segment(start, end, who))
+        segments = self.segments
+        if segments:
+            last = segments[-1]
+            if last.who == who and last.end == start:
+                last.end = end
+                return
+        segments.append(Segment(start, end, who))
 
     def charge_kernel(self, start: int, end: int, category: str) -> None:
         """Record kernel overhead time under a named category."""
         if end <= start:
             return
-        self.kernel_time[category] += end - start
-        self.add_segment(start, end, KERNEL)
+        delta = end - start
+        kernel_time = self.kernel_time
+        kernel_time[category] = kernel_time.get(category, 0) + delta
+        self.kernel_time_total += delta
+        if self.record_segments:
+            self.add_segment(start, end, KERNEL)
 
     def note(self, time: int, kind: str, detail: str) -> None:
         """Record a point event (release, miss, switch, fault...)."""
-        self.events.append((time, kind, detail))
+        if not self._record_events:
+            return
+        events = self.events
+        if events.maxlen is not None and len(events) == events.maxlen:
+            self.events_dropped += 1
+        events.append((time, kind, detail))
 
-    def job_released(self, thread: str, release: int, deadline: int, job_no: int) -> JobRecord:
-        """Open a job record at its (nominal) release."""
+    def job_released(
+        self, thread: str, release: int, deadline: int, job_no: int
+    ) -> Optional[JobRecord]:
+        """Open a job record at its (nominal) release.
+
+        Returns ``None`` in ``"off"`` mode (nothing is stored)."""
+        if not self._record_jobs:
+            return None
         record = JobRecord(thread, release, deadline)
         self.jobs.append(record)
         self._open_jobs[(thread, job_no)] = record
@@ -116,7 +246,8 @@ class Trace:
         record = self._open_jobs.pop((thread, job_no), None)
         if record is not None:
             record.completion = completion
-            if record.missed:
+            deadline = record.deadline
+            if deadline is not None and completion > deadline:
                 self.note(completion, "deadline-miss", thread)
         return record
 
@@ -132,15 +263,55 @@ class Trace:
     def context_switch(self, time: int, old: Optional[str], new: Optional[str]) -> None:
         """Count and note one context switch."""
         self.context_switches += 1
-        self.note(time, "context-switch", f"{old or IDLE} -> {new or IDLE}")
+        if self._record_events:
+            self.note(time, "context-switch", f"{old or IDLE} -> {new or IDLE}")
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     @property
-    def kernel_time_total(self) -> int:
-        """All kernel overhead charged, in nanoseconds."""
-        return sum(self.kernel_time.values())
+    def events_truncated(self) -> bool:
+        """True when the ring buffer has dropped events."""
+        return self.events_dropped > 0
+
+    def event_log(self) -> List[Tuple[int, str, str]]:
+        """The stored events, with an explicit truncation marker.
+
+        When the ring buffer dropped events, the first entry is
+        ``(t_oldest, "<truncated>", "N older events dropped")`` so a
+        reader can never mistake a capped log for a complete one.
+        """
+        log = list(self.events)
+        if self.events_dropped:
+            oldest = log[0][0] if log else 0
+            log.insert(
+                0, (oldest, TRUNCATED, f"{self.events_dropped} older events dropped")
+            )
+        return log
+
+    def signature(self, include_segments: bool = False) -> str:
+        """Deterministic sha256 over the recorded behavior.
+
+        Hashes the point events and the job records (thread, release,
+        deadline, completion, aborted) -- and, with
+        ``include_segments``, the Gantt segments too.  Two runs are
+        behaviorally identical iff their full-mode signatures match;
+        performance work must leave this hash unchanged.
+        """
+        if self.events_dropped:
+            raise ValueError("signature of a truncated event log is meaningless")
+        fingerprint: Tuple = (
+            tuple(self.events),
+            tuple(
+                (j.thread, j.release, j.deadline, j.completion, j.aborted)
+                for j in self.jobs
+            ),
+        )
+        if include_segments:
+            fingerprint = fingerprint + (
+                tuple((s.start, s.end, s.who) for s in self.segments),
+            )
+        return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
 
     def misses(self) -> List[JobRecord]:
         """Jobs that completed after their deadline."""
@@ -243,4 +414,6 @@ class Trace:
             f"({', '.join(f'{k}={to_us(v):.1f}us' for k, v in sorted(self.kernel_time.items()))})",
             f"idle time: {to_us(self.idle_time):.1f} us",
         ]
+        if self.events_dropped:
+            lines.append(f"event log truncated: {self.events_dropped} dropped")
         return "\n".join(lines)
