@@ -27,6 +27,10 @@ Environment knobs:
 * ``REPRO_BENCH_TRAJECTORY`` -- perf trajectory file live-kernel
   benchmarks append to (default ``BENCH_kernel.json`` at the repo
   root).
+* ``REPRO_BENCH_OBS`` -- observability mode for live-kernel runs
+  (``counters`` or ``full``; default unset = observation off).
+  Benchmarks that honor it can dump the metrics/trace artifacts via
+  :func:`dump_obs_artifacts`.
 """
 
 from __future__ import annotations
@@ -43,6 +47,31 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: The committed perf trajectory lives at the repository root.
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
+
+#: Explicit registry of every benchmark: name -> invocation style.
+#: ``"cli"`` modules expose ``main(argv) -> int`` and are called
+#: in-process by ``reproduce bench``; ``"pytest"`` modules are
+#: collected as test files.  Every ``bench_<name>.py`` in this
+#: directory MUST appear here (enforced by a test) -- discovery by
+#: source-grepping is gone.
+BENCHMARKS = {
+    "ablations": "pytest",
+    "cyclic": "pytest",
+    "faults": "cli",
+    "fieldbus": "pytest",
+    "fig11": "pytest",
+    "fig3": "pytest",
+    "fig4": "pytest",
+    "fig5": "pytest",
+    "footprint": "pytest",
+    "ipc": "pytest",
+    "kernel_overhead": "pytest",
+    "obs": "cli",
+    "table1": "pytest",
+    "table2_fig2": "pytest",
+    "table3": "pytest",
+    "validation": "pytest",
+}
 
 
 def bench_workloads() -> int:
@@ -91,6 +120,43 @@ def trajectory_path() -> Path:
     return Path(raw) if raw else TRAJECTORY_PATH
 
 
+def bench_obs_mode() -> Optional[str]:
+    """Observability mode for live-kernel runs (None = off)."""
+    from repro.obs.collector import OBS_MODES
+
+    raw = os.environ.get("REPRO_BENCH_OBS", "")
+    if not raw:
+        return None
+    if raw not in OBS_MODES:
+        raise ValueError(
+            f"REPRO_BENCH_OBS={raw!r}: expected one of {OBS_MODES}"
+        )
+    return raw
+
+
+def dump_obs_artifacts(name: str, kernel, trace) -> Optional[Path]:
+    """Write the observability artifacts of one benchmark run.
+
+    When the kernel has a collector attached, writes
+    ``<name>.metrics.json``, ``<name>.prom``, and (full recording
+    only) ``<name>.trace.json`` -- the Perfetto-loadable Chrome trace
+    -- under the benchmark output directory.  Returns that directory,
+    or None when observation is off.
+    """
+    collector = getattr(kernel, "obs", None)
+    if collector is None:
+        return None
+    from repro.obs.tracer import export_chrome_trace
+
+    out = bench_out_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    (out / f"{name}.metrics.json").write_text(collector.metrics_json() + "\n")
+    (out / f"{name}.prom").write_text(collector.metrics_prometheus())
+    if trace is not None and trace.record == "full":
+        export_chrome_trace(out / f"{name}.trace.json", trace, collector)
+    return out
+
+
 def bench_arg_parser(description: Optional[str] = None) -> argparse.ArgumentParser:
     """The shared CLI for standalone benchmark scripts.
 
@@ -114,6 +180,10 @@ def bench_arg_parser(description: Optional[str] = None) -> argparse.ArgumentPars
         "--record", choices=RECORD_MODES, default=None,
         help="trace recording mode for live-kernel runs",
     )
+    parser.add_argument(
+        "--obs", choices=("counters", "full"), default=None,
+        help="attach an observability collector to live-kernel runs",
+    )
     return parser
 
 
@@ -129,6 +199,8 @@ def apply_bench_args(args: argparse.Namespace) -> argparse.Namespace:
         os.environ[WORKERS_ENV] = str(args.workers)
     if getattr(args, "record", None) is not None:
         os.environ["REPRO_BENCH_RECORD"] = args.record
+    if getattr(args, "obs", None) is not None:
+        os.environ["REPRO_BENCH_OBS"] = args.obs
     return args
 
 

@@ -138,6 +138,10 @@ class Kernel:
         self.timers: Dict[str, Timer] = {}
 
         self.running: Optional[Thread] = None
+        #: Attached observability collector (``ObsCollector.attach``);
+        #: None by default, so every hook site costs one attribute read
+        #: and an ``is`` check when observation is off.
+        self.obs = None
         #: Armed fault injector (set by ``FaultInjector.install``);
         #: consulted when a Compute op starts, to stretch its duration.
         self.fault_injector = None
@@ -404,6 +408,9 @@ class Kernel:
         thread.blocked_on = reason
         cost = self.scheduler.on_block(thread)
         self.charge(cost, "sched")
+        obs = self.obs
+        if obs is not None:
+            obs.on_block(thread.name, reason, self.clock.now)
         self._need_resched = True
 
     def unblock_thread(self, thread: Thread) -> None:
@@ -420,6 +427,9 @@ class Kernel:
         thread.blocked_on = None
         cost = self.scheduler.on_unblock(thread)
         self.charge(cost, "sched")
+        obs = self.obs
+        if obs is not None:
+            obs.on_unblock(thread.name, self.clock.now)
         # The paper's model: the scheduler is invoked on every unblock.
         self._dispatch()
 
@@ -437,6 +447,9 @@ class Kernel:
             if sem is not None and hasattr(sem, "on_hint_unblock"):
                 if sem.on_hint_unblock(self, thread):
                     thread.blocked_on = f"sem-parked:{hint}"
+                    obs = self.obs
+                    if obs is not None:
+                        obs.on_block(thread.name, thread.blocked_on, self.clock.now)
                     return
         self.unblock_thread(thread)
 
@@ -675,6 +688,9 @@ class Kernel:
         record = self.trace.job_aborted(thread.name, thread.job_no, self.now)
         if record is not None:
             thread.jobs_aborted += 1
+        obs = self.obs
+        if obs is not None:
+            obs.on_job_aborted(thread.name)
         self._detach_from_waits(thread)
         if thread.ready:
             cost = self.scheduler.on_block(thread)
@@ -741,6 +757,9 @@ class Kernel:
         record = self.trace.job_aborted(thread.name, thread.job_no, self.now)
         if record is not None:
             thread.jobs_aborted += 1
+        obs = self.obs
+        if obs is not None:
+            obs.on_job_aborted(thread.name)
         thread.op_started = False
         thread.read_token = None
         self._retire_job(thread)
@@ -847,6 +866,19 @@ class Kernel:
         record = self.trace.job_completed(
             thread.name, thread.job_no, self.clock.now
         )
+        obs = self.obs
+        if obs is not None and record is None:
+            # Jobs the trace recorded are folded in post-hoc by
+            # ObsCollector.as_registry(); only count live (reading the
+            # TCB) when recording is "off" and there is no record --
+            # the completion path stays a two-comparison no-op on
+            # recorded runs.
+            obs.on_job_completed(
+                thread.name,
+                thread.release_time,
+                self.clock.now,
+                thread.abs_deadline,
+            )
         if (
             self.stop_on_deadline_miss
             and record is not None
@@ -940,7 +972,8 @@ class Kernel:
             trace.kernel_time_total += cs
             if trace.record_segments:
                 trace.add_segment(start, start + cs, KERNEL)
-        if old is not None and old.state == ThreadState.RUNNING:
+        preempted = old is not None and old.state == ThreadState.RUNNING
+        if preempted:
             old.state = ThreadState.READY
         if new is not None:
             new.state = ThreadState.RUNNING
@@ -948,6 +981,20 @@ class Kernel:
         self.trace.context_switch(
             self.clock.now, old.name if old else None, new.name if new else None
         )
+        obs = self.obs
+        if obs is not None:
+            # Inlined obs.on_switch() (the reference implementation):
+            # a method call per context switch costs several percent
+            # of throughput, plain adds stay under the obs budget.
+            obs.switches += 1
+            depth = self.events._live
+            obs.queue_depth_sum += depth
+            if depth > obs.queue_depth_max:
+                obs.queue_depth_max = depth
+            if new is not None:
+                new.obs_dispatches += 1
+            if preempted:
+                old.obs_preemptions += 1
 
     def _dispatch_if_needed(self) -> None:
         if self._need_resched:

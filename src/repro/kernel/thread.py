@@ -85,6 +85,8 @@ class Thread(Schedulable):
         "last_received",
         "last_read",
         "completed_jobs",
+        "obs_dispatches",
+        "obs_preemptions",
         "pi_donor_of",
         "op_started",
         "read_token",
@@ -177,6 +179,11 @@ class Thread(Schedulable):
         #: Value of the last completed StateRead.
         self.last_read: Optional[object] = None
         self.completed_jobs = 0
+        #: Dispatch/preemption tallies, bumped by the dispatcher only
+        #: while an observability collector is attached (TCB integer
+        #: adds are the cheapest place to count per-task switches).
+        self.obs_dispatches = 0
+        self.obs_preemptions = 0
         #: Name of the thread currently acting as this thread's PI
         #: place-holder, if any (EMERALDS O(1) PI, Section 6.2).
         self.pi_donor_of: Optional[str] = None

@@ -1,0 +1,65 @@
+"""Structured observability: metrics registry, trace export, analyzers.
+
+Public surface:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` and its instrument types
+  (:class:`Counter`, :class:`Gauge`, :class:`Histogram`) -- the
+  deterministic registry with JSON / Prometheus-text export;
+* :class:`~repro.obs.collector.ObsCollector` -- attaches to a kernel
+  and populates the registry from dispatch/block/PI hook points;
+* :mod:`~repro.obs.tracer` -- Chrome trace-event (Perfetto) export;
+* :mod:`~repro.obs.analyzers` -- latency percentiles and
+  priority-inheritance chain reconstruction.
+"""
+
+from repro.obs.analyzers import (
+    PiChain,
+    blocking_report,
+    latency_report,
+    percentile,
+    pi_chain_report,
+    pi_chains,
+    response_percentiles,
+)
+from repro.obs.collector import (
+    OBS_MODES,
+    BlockingInterval,
+    ObsCollector,
+    PiEvent,
+)
+from repro.obs.metrics import (
+    DEFAULT_RESPONSE_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    REQUIRED_TRACE_KEYS,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_RESPONSE_BUCKETS_NS",
+    "ObsCollector",
+    "PiEvent",
+    "BlockingInterval",
+    "OBS_MODES",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "REQUIRED_TRACE_KEYS",
+    "percentile",
+    "response_percentiles",
+    "latency_report",
+    "PiChain",
+    "pi_chains",
+    "pi_chain_report",
+    "blocking_report",
+]

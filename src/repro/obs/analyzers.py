@@ -1,0 +1,253 @@
+"""Analyzers over recorded runs: latency percentiles and PI chains.
+
+Two questions the flat event log answers only with ad-hoc scripts:
+
+* *"What is T7's p99 response time under CSD-3?"* --
+  :func:`response_percentiles` / :func:`latency_report` compute exact
+  per-task percentiles from the trace's job records (nearest-rank, so
+  every reported value is a response time that actually occurred).
+
+* *"Which semaphore caused this deadline miss, and who donated
+  priority to whom?"* -- :func:`pi_chains` reconstructs
+  priority-inheritance chains (donor, the semaphores the donation
+  flowed through, every holder raised along the way, and how long the
+  inversion lasted) from a full-mode
+  :class:`~repro.obs.collector.ObsCollector`;
+  :func:`blocking_report` totals per-semaphore blocking.
+
+Everything here is post-hoc and deterministic: inputs are virtual-time
+integers, outputs sort by (time, name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.timeunits import to_us
+
+if TYPE_CHECKING:
+    from repro.obs.collector import ObsCollector
+    from repro.sim.trace import Trace
+
+__all__ = [
+    "percentile",
+    "response_percentiles",
+    "latency_report",
+    "PiChain",
+    "pi_chains",
+    "pi_chain_report",
+    "blocking_report",
+]
+
+
+def percentile(values: Sequence[int], q: float) -> Optional[int]:
+    """Nearest-rank percentile of a **sorted** sequence.
+
+    Returns an element of ``values`` (never an interpolation), so a
+    reported p99 is a response time that actually happened.  ``None``
+    for an empty sequence.
+    """
+    if not values:
+        return None
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100] (got {q})")
+    # Nearest-rank: ceil(q/100 * n), clamped to [1, n], as a 0-index.
+    rank = -(-q * len(values) // 100)  # ceil without floats drifting
+    index = max(0, min(len(values) - 1, int(rank) - 1))
+    return values[index]
+
+
+def response_percentiles(trace: "Trace") -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-task response-time stats: count/mean/p50/p95/p99/max (ns).
+
+    Requires job records; raises :class:`ValueError` for a trace
+    recorded in ``"off"`` mode (nothing was stored to analyze).
+    """
+    if trace.record == "off":
+        raise ValueError(
+            "response percentiles need job records, but this trace was "
+            "recorded in 'off' mode; re-run with record='jobs-only' or 'full'"
+        )
+    by_task: Dict[str, List[int]] = {}
+    for job in trace.jobs:
+        response = job.response_time
+        if response is not None:
+            by_task.setdefault(job.thread, []).append(response)
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for task in sorted(by_task):
+        responses = sorted(by_task[task])
+        out[task] = {
+            "count": len(responses),
+            "mean": sum(responses) / len(responses),
+            "p50": percentile(responses, 50),
+            "p95": percentile(responses, 95),
+            "p99": percentile(responses, 99),
+            "max": responses[-1],
+        }
+    return out
+
+
+def latency_report(trace: "Trace") -> str:
+    """Rendered per-task latency percentile table (us)."""
+    from repro.analysis import format_table
+
+    stats = response_percentiles(trace)
+    if not stats:
+        return "no completed jobs recorded"
+    rows = []
+    for task, s in stats.items():
+        rows.append(
+            [
+                task,
+                s["count"],
+                f"{to_us(round(s['mean'])):.1f}",
+                f"{to_us(s['p50']):.1f}",
+                f"{to_us(s['p95']):.1f}",
+                f"{to_us(s['p99']):.1f}",
+                f"{to_us(s['max']):.1f}",
+            ]
+        )
+    return format_table(
+        ["task", "jobs", "mean us", "p50 us", "p95 us", "p99 us", "max us"],
+        rows,
+        title="per-task response time",
+    )
+
+
+# ----------------------------------------------------------------------
+# priority-inversion / blocking analysis
+# ----------------------------------------------------------------------
+@dataclass
+class PiChain:
+    """One reconstructed priority-inheritance chain.
+
+    ``links`` walks the donation hop by hop: ``(sem, holder, kind)``
+    -- the donor's priority reached ``holder`` through ``sem`` via a
+    standard queue ``raise`` or an EMERALDS place-holder ``swap``.
+    ``resolved_at`` is the instant the final holder's inherited
+    priority was restored (``None`` when the run ended first).
+    """
+
+    donor: str
+    start: int
+    links: List[Tuple[str, str, str]] = field(default_factory=list)
+    resolved_at: Optional[int] = None
+
+    @property
+    def holders(self) -> List[str]:
+        return [holder for _, holder, _ in self.links]
+
+    @property
+    def duration_ns(self) -> Optional[int]:
+        if self.resolved_at is None:
+            return None
+        return self.resolved_at - self.start
+
+    def describe(self) -> str:
+        """One-line human-readable rendering of the chain."""
+        path = " -> ".join(
+            f"[{sem}] {holder} ({kind})" for sem, holder, kind in self.links
+        )
+        tail = (
+            f"resolved after {to_us(self.duration_ns):.1f} us"
+            if self.resolved_at is not None
+            else "unresolved at end of run"
+        )
+        return f"t={to_us(self.start):.1f}us {self.donor} -> {path}; {tail}"
+
+
+def pi_chains(collector: "ObsCollector") -> List[PiChain]:
+    """Reconstruct donation chains from a full-mode collector.
+
+    A chain starts at a non-transitive donation and extends through the
+    transitive steps recorded immediately after it (the semaphore
+    code walks holder chains synchronously, so order in the event list
+    is chain order).  A ``restore`` of a chain's last holder closes
+    every chain that ends in that holder.
+    """
+    if not collector.full:
+        raise ValueError(
+            "PI-chain reconstruction needs a full-mode collector "
+            "(ObsCollector(mode='full')); counters mode keeps no events"
+        )
+    chains: List[PiChain] = []
+    current: Optional[PiChain] = None
+    for event in collector.pi_events:
+        if event.kind == "restore":
+            current = None
+            for chain in chains:
+                if chain.resolved_at is None and chain.holders and (
+                    chain.holders[-1] == event.holder
+                ):
+                    chain.resolved_at = event.time
+            continue
+        link = (event.sem, event.holder, event.kind)
+        if (
+            event.transitive
+            and current is not None
+            and current.donor == event.donor
+        ):
+            current.links.append(link)
+            continue
+        current = PiChain(donor=event.donor, start=event.time, links=[link])
+        chains.append(current)
+    return chains
+
+
+def pi_chain_report(collector: "ObsCollector") -> str:
+    """Rendered PI-chain listing plus per-semaphore donation totals."""
+    from repro.analysis import format_table
+
+    chains = pi_chains(collector)
+    lines: List[str] = []
+    if not chains:
+        lines.append("no priority-inheritance donations recorded")
+    else:
+        lines.append(f"priority-inheritance chains ({len(chains)}):")
+        for chain in chains:
+            lines.append("  " + chain.describe())
+        totals: Dict[str, List[int]] = {}
+        for chain in chains:
+            for sem, _holder, _kind in chain.links:
+                entry = totals.setdefault(sem, [0, 0])
+                entry[0] += 1
+                if chain.duration_ns is not None:
+                    entry[1] += chain.duration_ns
+        rows = [
+            [sem, hops, f"{to_us(total_ns):.1f}"]
+            for sem, (hops, total_ns) in sorted(totals.items())
+        ]
+        lines.append(
+            format_table(
+                ["sem", "donation hops", "inversion us"],
+                rows,
+                title="per-semaphore donation totals",
+            )
+        )
+    return "\n".join(lines)
+
+
+def blocking_report(collector: "ObsCollector") -> str:
+    """Rendered per-semaphore blocking/PI totals (any collector mode)."""
+    from repro.analysis import format_table
+
+    if not collector.sems:
+        return "no semaphore blocking recorded"
+    rows = []
+    for name in sorted(collector.sems):
+        s = collector.sems[name]
+        rows.append(
+            [
+                name,
+                s.blocks,
+                f"{to_us(s.blocked_ns):.1f}",
+                s.max_waiters,
+                s.donations,
+            ]
+        )
+    return format_table(
+        ["sem", "blocks", "blocked us", "max waiters", "PI donations"],
+        rows,
+        title="per-semaphore blocking",
+    )

@@ -100,6 +100,7 @@ def run_throughput(
     model: Optional[OverheadModel] = None,
     repeats: int = 1,
     label: str = "kernel-overhead",
+    obs: Optional[str] = None,
 ) -> PerfReport:
     """Run the canonical workload and report pooled counters/rates.
 
@@ -108,6 +109,10 @@ def run_throughput(
     template: collector pauses land unpredictably inside the run and
     were measured to swing per-run throughput by over 20%.  The
     collector state is restored afterwards either way.
+
+    ``obs`` attaches an observability collector (``"counters"`` or
+    ``"full"``) inside the timed section -- how the obs-smoke overhead
+    bound is measured.
     """
     model = model if model is not None else OverheadModel()
     reports = []
@@ -120,7 +125,7 @@ def run_throughput(
                 start = time.perf_counter()
                 kernel, _trace = simulate_workload(
                     workload, policy, duration=HORIZON_NS, model=model,
-                    splits=splits, record=mode,
+                    splits=splits, record=mode, obs=obs,
                 )
                 wall = time.perf_counter() - start
             finally:

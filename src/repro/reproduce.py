@@ -22,6 +22,14 @@ workload and maintains the persistent perf trajectory::
 The ``bench`` subcommand runs the benchmark suite (or a selection)::
 
     python -m repro.reproduce bench all --workers 4
+
+The ``trace`` and ``metrics`` subcommands run a workload with the
+observability layer attached -- ``trace`` exports a Perfetto-loadable
+Chrome trace JSON, ``metrics`` prints per-task latency percentiles and
+per-semaphore blocking / priority-inheritance totals::
+
+    python -m repro.reproduce trace --out trace.json
+    python -m repro.reproduce metrics --demo pi --scheme emeralds
 """
 
 from __future__ import annotations
@@ -475,14 +483,17 @@ def run_bench(argv: List[str]) -> int:
     ``bench all`` runs every benchmark; ``bench fig3 kernel_overhead``
     runs a selection (names map to ``benchmarks/bench_<name>.py``).
     The shared ``--seed/--out/--workers/--record`` flags configure the
-    runs via the environment knobs in ``benchmarks/common.py``.
+    runs via the environment knobs in ``benchmarks/common.py``; how
+    each benchmark is invoked comes from the explicit ``BENCHMARKS``
+    registry there.
     """
     from pathlib import Path
 
     bench_dir = Path(__file__).parent.parent.parent / "benchmarks"
-    available = sorted(
-        p.stem[len("bench_"):] for p in bench_dir.glob("bench_*.py")
-    )
+    sys.path.insert(0, str(bench_dir))
+    from common import BENCHMARKS, apply_bench_args  # noqa: E402
+
+    available = sorted(BENCHMARKS)
     parser = argparse.ArgumentParser(
         prog="python -m repro.reproduce bench",
         description="Run the benchmark suite (or a selection).",
@@ -498,8 +509,12 @@ def run_bench(argv: List[str]) -> int:
         "--record", choices=("full", "jobs-only", "off"), default=None
     )
     parser.add_argument(
+        "--obs", choices=("counters", "full"), default=None,
+        help="attach an observability collector to live-kernel runs",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
-        help="pass --smoke to CLI-style benchmarks (e.g. faults)",
+        help="pass --smoke to CLI-style benchmarks (e.g. faults, obs)",
     )
     args = parser.parse_args(argv)
 
@@ -508,29 +523,143 @@ def run_bench(argv: List[str]) -> int:
     if unknown:
         parser.error(f"unknown benchmarks: {', '.join(unknown)}")
 
-    sys.path.insert(0, str(bench_dir))
-    from common import apply_bench_args  # noqa: E402  (benchmarks/common.py)
-
     apply_bench_args(args)
     pytest_files: List[str] = []
     exit_code = 0
     for name in names:
-        path = bench_dir / f"bench_{name}.py"
-        source = path.read_text()
-        if "def main(" in source and 'if __name__ == "__main__"' in source:
+        if BENCHMARKS[name] == "cli":
             # CLI-style benchmark: call its main() in-process.
             module = __import__(f"bench_{name}")
             cli_args = ["--smoke"] if args.smoke else []
             code = module.main(cli_args)
             exit_code = exit_code or code
         else:
-            pytest_files.append(str(path))
+            pytest_files.append(str(bench_dir / f"bench_{name}.py"))
     if pytest_files:
         import pytest
 
         code = pytest.main(["-q", "-p", "no:cacheprovider", *pytest_files])
         exit_code = exit_code or int(code)
     return exit_code
+
+
+def _obs_arg_parser(prog: str, description: str) -> argparse.ArgumentParser:
+    """Shared flags of the ``trace`` and ``metrics`` subcommands."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument(
+        "--policy", default="edf",
+        help="scheduling policy for the canonical workload (default edf)",
+    )
+    parser.add_argument(
+        "--horizon-ms", type=int, default=200,
+        help="virtual run length in ms (default 200)",
+    )
+    parser.add_argument(
+        "--demo", choices=("pi",), default=None,
+        help="run the transitive priority-inversion demo instead of "
+        "the canonical workload",
+    )
+    parser.add_argument(
+        "--scheme", choices=("standard", "emeralds"), default="standard",
+        help="semaphore scheme for --demo pi (default standard)",
+    )
+    return parser
+
+
+def _obs_run(args):
+    """Run the selected workload with a full-mode collector attached.
+
+    Returns ``(kernel, trace, collector)``.
+    """
+    from repro.obs.scenarios import run_pi_demo
+    from repro.perf.workloads import min_overhead_splits, overhead_workload
+
+    if args.demo == "pi":
+        kernel, trace, collector = run_pi_demo(
+            scheme=args.scheme, horizon=ms(max(20, args.horizon_ms))
+        )
+        return kernel, trace, collector
+    workload = overhead_workload()
+    splits = None
+    if args.policy.startswith("csd-"):
+        splits = min_overhead_splits(workload, 2, OverheadModel())
+    kernel, trace = simulate_workload(
+        workload,
+        args.policy,
+        duration=ms(args.horizon_ms),
+        splits=splits,
+        record="full",
+        obs="full",
+    )
+    return kernel, trace, kernel.obs
+
+
+def run_trace(argv: List[str]) -> int:
+    """The ``trace`` subcommand: export a Chrome/Perfetto trace."""
+    from repro.obs.tracer import export_chrome_trace
+
+    parser = _obs_arg_parser(
+        "python -m repro.reproduce trace",
+        "Run a workload and export a Perfetto-loadable Chrome trace.",
+    )
+    parser.add_argument(
+        "--out", default="trace.json", help="output path (default trace.json)"
+    )
+    args = parser.parse_args(argv)
+    if args.horizon_ms <= 0:
+        parser.error(f"--horizon-ms must be positive (got {args.horizon_ms})")
+    kernel, trace, collector = _obs_run(args)
+    count = export_chrome_trace(args.out, trace, collector)
+    print(trace.summary(kernel.now))
+    print(
+        f"wrote {count} trace events to {args.out} "
+        "(load at https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def run_metrics(argv: List[str]) -> int:
+    """The ``metrics`` subcommand: latency percentiles + blocking/PI."""
+    from repro.obs.analyzers import (
+        blocking_report,
+        latency_report,
+        pi_chain_report,
+    )
+
+    parser = _obs_arg_parser(
+        "python -m repro.reproduce metrics",
+        "Run a workload and report latency percentiles, semaphore "
+        "blocking, and priority-inheritance chains.",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        help="output format (default: rendered text reports)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the output to this path"
+    )
+    args = parser.parse_args(argv)
+    if args.horizon_ms <= 0:
+        parser.error(f"--horizon-ms must be positive (got {args.horizon_ms})")
+    kernel, trace, collector = _obs_run(args)
+    if args.format == "json":
+        output = collector.metrics_json()
+    elif args.format == "prom":
+        output = collector.metrics_prometheus()
+    else:
+        output = "\n\n".join(
+            [
+                latency_report(trace),
+                blocking_report(collector),
+                pi_chain_report(collector),
+            ]
+        )
+    print(output)
+    if args.out is not None:
+        with open(args.out, "w") as fh:
+            fh.write(output if output.endswith("\n") else output + "\n")
+        print(f"written to {args.out}")
+    return 0
 
 
 TARGETS: Dict[str, Callable[[bool], None]] = {
@@ -558,6 +687,10 @@ def main(argv: List[str] = None) -> int:
         return run_perf(raw[1:])
     if raw and raw[0] == "bench":
         return run_bench(raw[1:])
+    if raw and raw[0] == "trace":
+        return run_trace(raw[1:])
+    if raw and raw[0] == "metrics":
+        return run_metrics(raw[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the EMERALDS paper's tables and figures."
     )

@@ -56,6 +56,7 @@ def build_kernel(
     stop_on_deadline_miss: bool = False,
     record: Optional[str] = None,
     max_trace_events: Optional[int] = None,
+    obs: Optional[str] = None,
 ) -> Kernel:
     """Create a kernel running ``workload`` under ``policy``.
 
@@ -64,7 +65,10 @@ def build_kernel(
     :func:`repro.core.schedulability.csd_schedulable`); everything past
     the last split lands on the FP queue.  ``record`` selects the trace
     recording mode (see :mod:`repro.sim.trace`), overriding the legacy
-    ``record_segments`` switch when given.
+    ``record_segments`` switch when given.  ``obs`` attaches an
+    observability collector in the named mode (``"counters"`` or
+    ``"full"``; see :mod:`repro.obs.collector`) -- reach it afterwards
+    as ``kernel.obs``.
     """
     scheduler = make_scheduler(policy, model, splits)
     kernel = Kernel(
@@ -74,6 +78,10 @@ def build_kernel(
         record=record,
         max_trace_events=max_trace_events,
     )
+    if obs is not None:
+        from repro.obs.collector import ObsCollector
+
+        ObsCollector(mode=obs).attach(kernel)
     queue_of = {}
     if policy.startswith("csd-"):
         if splits is None:
@@ -119,6 +127,7 @@ def simulate_workload(
     stop_on_deadline_miss: bool = False,
     record: Optional[str] = None,
     max_trace_events: Optional[int] = None,
+    obs: Optional[str] = None,
 ) -> Tuple[Kernel, Trace]:
     """Run ``workload`` and return the kernel plus its trace.
 
@@ -135,6 +144,7 @@ def simulate_workload(
         stop_on_deadline_miss=stop_on_deadline_miss,
         record=record,
         max_trace_events=max_trace_events,
+        obs=obs,
     )
     horizon = duration if duration is not None else hyperperiod(workload)
     trace = kernel.run_until(horizon)

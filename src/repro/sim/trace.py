@@ -340,8 +340,24 @@ class Trace:
         ]
         return max(responses) if responses else None
 
+    def _require_segments(self, caller: str) -> None:
+        """Fail loudly when a segment query runs on a reduced-mode
+        trace: a silent empty chart / 0.0 share reads like a real
+        result and has sent people debugging the wrong layer."""
+        if self.record != "full":
+            raise ValueError(
+                f"{caller} needs Gantt segments, but this trace was "
+                f"recorded in {self.record!r} mode; re-run with "
+                "record='full' (the default) to store them"
+            )
+
     def cpu_share(self, who: str, start: int, end: int) -> float:
-        """Fraction of ``[start, end)`` occupied by ``who``."""
+        """Fraction of ``[start, end)`` occupied by ``who``.
+
+        Raises :class:`ValueError` unless the trace was recorded in
+        ``"full"`` mode (segments are not stored otherwise).
+        """
+        self._require_segments("cpu_share")
         if end <= start:
             return 0.0
         busy = 0
@@ -366,7 +382,11 @@ class Trace:
 
         One row per thread; ``#`` marks execution, ``.`` marks other
         time, ``!`` marks a deadline miss within that column.
+
+        Raises :class:`ValueError` unless the trace was recorded in
+        ``"full"`` mode (segments are not stored otherwise).
         """
+        self._require_segments("gantt_ascii")
         if end <= start:
             raise ValueError("end must be after start")
         if threads is None:
@@ -403,17 +423,36 @@ class Trace:
         return "\n".join(lines)
 
     def summary(self, now: int) -> str:
-        """Human-readable run summary."""
-        misses = self.deadline_violations(now)
+        """Human-readable run summary.
+
+        Deadline accounting goes through one path --
+        :meth:`deadline_violations` is :meth:`misses` plus
+        :meth:`unfinished` -- and both components are itemized so the
+        total is self-describing.  Per-task response-time stats
+        (mean/max) come from the same percentile helper the
+        ``reproduce metrics`` subcommand uses.
+        """
+        misses = self.misses()
+        overdue = self.unfinished(now)
         lines = [
             f"jobs: {len(self.jobs)}  completed: "
             f"{sum(1 for j in self.jobs if j.completion is not None)}  "
-            f"deadline violations: {len(misses)}",
+            f"deadline violations: {len(misses) + len(overdue)} "
+            f"({len(misses)} late, {len(overdue)} overdue unfinished)",
             f"context switches: {self.context_switches}",
             f"kernel time: {to_us(self.kernel_time_total):.1f} us "
             f"({', '.join(f'{k}={to_us(v):.1f}us' for k, v in sorted(self.kernel_time.items()))})",
             f"idle time: {to_us(self.idle_time):.1f} us",
         ]
+        if self.record != "off" and self.jobs:
+            from repro.obs.analyzers import response_percentiles
+
+            for task, stats in response_percentiles(self).items():
+                lines.append(
+                    f"  {task}: {stats['count']} jobs, response "
+                    f"mean={to_us(round(stats['mean'])):.1f}us "
+                    f"max={to_us(stats['max']):.1f}us"
+                )
         if self.events_dropped:
             lines.append(f"event log truncated: {self.events_dropped} dropped")
         return "\n".join(lines)

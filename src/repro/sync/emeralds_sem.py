@@ -105,6 +105,9 @@ class EmeraldsSemaphore(StandardSemaphore):
             thread.parked_on = self.name
             self.parks += 1
             self.saved_switches += 1
+            obs = kernel.obs
+            if obs is not None:
+                obs.on_sem_wait(self.name, len(self.waiters) + len(self.parked))
             return True
         if self.registry_enabled:
             self.registry.append(thread)
@@ -127,6 +130,9 @@ class EmeraldsSemaphore(StandardSemaphore):
         self.contended_acquires += 1
         self._do_inheritance(kernel, thread)
         self.waiters.append(thread)
+        obs = kernel.obs
+        if obs is not None:
+            obs.on_sem_wait(self.name, len(self.waiters) + len(self.parked))
         kernel.block_thread(thread, f"sem:{self.name}")
         return False
 
@@ -188,11 +194,22 @@ class EmeraldsSemaphore(StandardSemaphore):
             if cost is not None:
                 kernel.charge(cost, "pi")
                 holder.pi_donor_of = donor.name
+                obs = kernel.obs
+                if obs is not None:
+                    obs.on_pi_donation(
+                        kernel.now, self.name, donor.name, holder.name,
+                        "swap", False,
+                    )
                 return
         # DP-queue tasks, cross-queue donations, or swap disabled:
         # fall back to the standard raise (O(1) for DP tasks anyway).
         cost = kernel.scheduler.raise_priority(holder, donor)
         kernel.charge(cost, "pi")
+        obs = kernel.obs
+        if obs is not None:
+            obs.on_pi_donation(
+                kernel.now, self.name, donor.name, holder.name, "raise", False
+            )
 
     def _undo_inheritance(self, kernel: "Kernel", thread: "Thread") -> None:
         if thread.pi_donor_of is not None:
@@ -202,6 +219,9 @@ class EmeraldsSemaphore(StandardSemaphore):
                 kernel.charge(cost, "pi")
             thread.pi_donor_of = None
             placeholder.pi_donor_of = None
+            obs = kernel.obs
+            if obs is not None:
+                obs.on_pi_restore(kernel.now, thread.name)
             # The thread may still hold other contended semaphores.
             if any(
                 kernel.semaphores[s].donor_threads()

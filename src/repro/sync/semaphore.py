@@ -67,11 +67,28 @@ def recompute_inheritance(kernel: "Kernel", thread: "Thread") -> None:
     if inherited:
         cost = kernel.scheduler.restore_priority(thread)
         kernel.charge(cost, "pi")
+        obs = kernel.obs
+        if obs is not None:
+            obs.on_pi_restore(kernel.now, thread.name)
     if donors:
         best = min(donors, key=kernel.priority_rank)
         if kernel.priority_rank(best) < kernel.priority_rank(thread):
             cost = kernel.scheduler.raise_priority(thread, best)
             kernel.charge(cost, "pi")
+            obs = kernel.obs
+            if obs is not None:
+                sem_name = next(
+                    (
+                        s
+                        for s in thread.held_sems
+                        if s in kernel.semaphores
+                        and best in kernel.semaphores[s].donor_threads()
+                    ),
+                    "?",
+                )
+                obs.on_pi_donation(
+                    kernel.now, sem_name, best.name, thread.name, "raise", False
+                )
 
 
 class StandardSemaphore:
@@ -124,6 +141,9 @@ class StandardSemaphore:
         self.contended_acquires += 1
         self._inherit_chain(kernel, thread)
         self.waiters.append(thread)
+        obs = kernel.obs
+        if obs is not None:
+            obs.on_sem_wait(self.name, len(self.waiters))
         kernel.block_thread(thread, f"sem:{self.name}")
         return False
 
@@ -174,6 +194,16 @@ class StandardSemaphore:
             if kernel.priority_rank(donor) < kernel.priority_rank(holder):
                 cost = kernel.scheduler.raise_priority(holder, donor)
                 kernel.charge(cost, "pi")
+                obs = kernel.obs
+                if obs is not None:
+                    obs.on_pi_donation(
+                        kernel.now,
+                        current.name,
+                        donor.name,
+                        holder.name,
+                        "raise",
+                        current is not self,
+                    )
             # Transitive step: is the holder itself blocked on a sem?
             blocked = holder.blocked_on
             if blocked is None or not blocked.startswith("sem:"):

@@ -1,0 +1,155 @@
+"""Tests for the deterministic metrics registry and the collector."""
+
+import json
+
+import pytest
+
+from repro.obs.collector import ObsCollector
+from repro.obs.metrics import (
+    DEFAULT_RESPONSE_BUCKETS_NS,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.scenarios import (
+    DEMO_HORIZON_NS,
+    demo_metrics_fingerprint,
+    pi_demo_kernel,
+    run_pi_demo,
+)
+from repro.perf.sweeps import parallel_map
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", task="a").inc()
+        reg.counter("jobs_total", task="a").inc(4)
+        assert reg.counter("jobs_total", task="a").value == 5
+
+    def test_label_sets_are_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", task="a").inc()
+        reg.counter("jobs_total", task="b").inc(2)
+        assert reg.counter("jobs_total", task="a").value == 1
+        assert reg.counter("jobs_total", task="b").value == 2
+
+    def test_gauge_tracks_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3
+        assert g.max_seen == 7
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x", task="a")
+
+    def test_histogram_buckets(self):
+        h = Histogram("resp", (), buckets=(10, 20, 50))
+        for v in (5, 10, 11, 100):
+            h.observe(v)
+        assert h.counts == [2, 1, 0, 1]  # le=10, le=20, le=50, +Inf
+        assert h.count == 4
+        assert h.total == 126
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (), buckets=(10, 10))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("h", (), buckets=())
+
+    def test_export_independent_of_insertion_order(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("one", task="x").inc()
+        a.gauge("two").set(3)
+        b.gauge("two").set(3)
+        b.counter("one", task="x").inc()
+        assert a.to_json() == b.to_json()
+        assert a.to_prometheus() == b.to_prometheus()
+
+    def test_prometheus_histogram_series(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("resp_ns", buckets=(10, 20), task="a")
+        h.observe(15)
+        text = reg.to_prometheus()
+        assert '# TYPE resp_ns histogram' in text
+        assert 'resp_ns_bucket{task="a",le="10"} 0' in text
+        assert 'resp_ns_bucket{task="a",le="+Inf"} 1' in text
+        assert 'resp_ns_sum{task="a"} 15' in text
+        assert 'resp_ns_count{task="a"} 1' in text
+
+
+class TestCollector:
+    def test_mode_validated(self):
+        with pytest.raises(ValueError, match="unknown obs mode"):
+            ObsCollector(mode="verbose")
+
+    def test_double_attach_rejected(self):
+        kernel = pi_demo_kernel()
+        ObsCollector().attach(kernel)
+        with pytest.raises(ValueError, match="already has an observer"):
+            ObsCollector().attach(kernel)
+
+    def test_demo_counts_pi_and_blocking(self):
+        _kernel, _trace, collector = run_pi_demo("standard")
+        # Both semaphores saw contention and donations (2 periods).
+        assert collector.sems["M"].blocks == 2
+        assert collector.sems["S"].blocks == 2
+        assert collector.sems["M"].donations > 0
+        assert collector.sems["M"].blocked_ns > 0
+        assert collector.switches > 0
+        assert collector.queue_depth_max >= 1
+
+    def test_counters_and_full_mode_agree_on_shared_metrics(self):
+        _k, _t, full = run_pi_demo("standard", mode="full")
+        kernel = pi_demo_kernel("standard", record="jobs-only")
+        counters = ObsCollector(mode="counters").attach(kernel)
+        kernel.run_until(DEMO_HORIZON_NS)
+        d_full = json.loads(full.metrics_json())
+        d_cnt = json.loads(counters.metrics_json())
+        for name, entry in d_cnt.items():
+            if name.startswith(("task_", "sem_", "sched_")):
+                assert entry == d_full[name], name
+
+    def test_off_recording_still_counts_completions(self):
+        kernel = pi_demo_kernel("standard", record="off")
+        collector = ObsCollector(mode="counters").attach(kernel)
+        kernel.run_until(DEMO_HORIZON_NS)
+        reg = json.loads(collector.metrics_json())
+        series = reg["task_jobs_completed_total"]["series"]
+        by_task = {s["labels"]["task"]: s["value"] for s in series}
+        assert by_task["a"] == 2 and by_task["b"] == 2 and by_task["c"] == 2
+
+    def test_on_switch_reference_matches_inlined_counters(self):
+        # The kernel inlines on_switch; the method must stay
+        # equivalent for callers outside the dispatcher.
+        collector = ObsCollector()
+        collector.on_switch(0, None, "a", False, 3)
+        collector.on_switch(5, "a", "b", True, 5)
+        assert collector.switches == 2
+        assert collector.dispatch_counts == {"a": 1, "b": 1}
+        assert collector.preempt_counts == {"a": 1}
+        assert collector.queue_depth_max == 5
+        assert collector.queue_depth_sum == 8
+
+
+class TestDeterminism:
+    def test_fingerprint_stable_across_runs(self):
+        assert demo_metrics_fingerprint("standard") == demo_metrics_fingerprint(
+            "standard"
+        )
+
+    def test_fingerprint_differs_between_schemes(self):
+        assert demo_metrics_fingerprint("standard") != demo_metrics_fingerprint(
+            "emeralds"
+        )
+
+    def test_fingerprint_identical_across_worker_counts(self):
+        items = ["standard", "emeralds", "standard"]
+        serial = parallel_map(demo_metrics_fingerprint, items, workers=1)
+        forked = parallel_map(demo_metrics_fingerprint, items, workers=2)
+        assert serial == forked
+        assert serial[0] == serial[2]

@@ -1,0 +1,94 @@
+"""Golden-file tests for the Chrome trace and Prometheus exports.
+
+The goldens under ``tests/golden/`` are the exports of the standard-
+scheme transitive-PI demo (two 10 ms periods of virtual time).  They
+pin byte-level determinism: any change to the export format or to the
+demo's schedule shows up as a diff here.  Regenerate deliberately
+with::
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.obs.scenarios import run_pi_demo
+    from repro.obs.tracer import export_chrome_trace
+    k, t, c = run_pi_demo("standard")
+    export_chrome_trace("tests/golden/pi_demo.trace.json", t, c)
+    open("tests/golden/pi_demo.prom", "w").write(c.metrics_prometheus())
+    open("tests/golden/pi_demo.metrics.json", "w").write(c.metrics_json() + "\n")
+    EOF
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.scenarios import run_pi_demo
+from repro.obs.tracer import (
+    REQUIRED_TRACE_KEYS,
+    chrome_trace_events,
+    export_chrome_trace,
+    validate_chrome_trace,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def demo():
+    return run_pi_demo("standard")
+
+
+class TestChromeTrace:
+    def test_matches_golden(self, demo, tmp_path):
+        _kernel, trace, collector = demo
+        out = tmp_path / "trace.json"
+        export_chrome_trace(out, trace, collector)
+        assert out.read_text() == (GOLDEN_DIR / "pi_demo.trace.json").read_text()
+
+    def test_golden_is_valid(self):
+        payload = json.loads((GOLDEN_DIR / "pi_demo.trace.json").read_text())
+        count = validate_chrome_trace(payload)
+        assert count == len(payload["traceEvents"]) > 0
+        for key in REQUIRED_TRACE_KEYS:
+            assert key in payload
+
+    def test_has_job_spans_and_pi_instants(self, demo):
+        _kernel, trace, collector = demo
+        payload = chrome_trace_events(trace, collector)
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "b", "e", "i"} <= phases
+        pi = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "i" and "pi" in e["name"]
+        ]
+        assert pi, "expected priority-inheritance instant events"
+
+    def test_timestamps_sorted(self, demo):
+        _kernel, trace, collector = demo
+        events = chrome_trace_events(trace, collector)["traceEvents"]
+        stamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({"displayTimeUnit": "ns", "otherData": {}})
+
+    def test_validate_rejects_malformed_event(self, demo):
+        _kernel, trace, collector = demo
+        payload = chrome_trace_events(trace, collector)
+        del payload["traceEvents"][0]["ph"]
+        with pytest.raises(ValueError):
+            validate_chrome_trace(payload)
+
+
+class TestPrometheusGolden:
+    def test_matches_golden(self, demo):
+        _kernel, _trace, collector = demo
+        assert collector.metrics_prometheus() == (
+            GOLDEN_DIR / "pi_demo.prom"
+        ).read_text()
+
+    def test_metrics_json_matches_golden(self, demo):
+        _kernel, _trace, collector = demo
+        assert collector.metrics_json() + "\n" == (
+            GOLDEN_DIR / "pi_demo.metrics.json"
+        ).read_text()

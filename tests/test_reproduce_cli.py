@@ -64,3 +64,66 @@ def test_default_runs_everything_quick_is_not_tested_here():
         "cyclic",
         "footprint",
     }
+
+
+def test_trace_subcommand_exports_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs.tracer import REQUIRED_TRACE_KEYS, validate_chrome_trace
+
+    out = tmp_path / "demo.trace.json"
+    assert reproduce.main(["trace", "--demo", "pi", "--out", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert validate_chrome_trace(payload) > 0
+    for key in REQUIRED_TRACE_KEYS:
+        assert key in payload
+    stdout = capsys.readouterr().out
+    assert "trace events" in stdout
+
+
+def test_metrics_subcommand_text_report(capsys):
+    assert reproduce.main(["metrics", "--demo", "pi"]) == 0
+    out = capsys.readouterr().out
+    assert "per-task response time" in out
+    assert "per-semaphore blocking" in out
+    assert "priority-inheritance chains" in out
+    assert "p99 us" in out
+
+
+def test_metrics_subcommand_formats(tmp_path, capsys):
+    import json
+
+    assert reproduce.main(["metrics", "--demo", "pi", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "task_response_ns" in payload
+    out = tmp_path / "m.prom"
+    assert reproduce.main(
+        ["metrics", "--demo", "pi", "--format", "prom", "--out", str(out)]
+    ) == 0
+    capsys.readouterr()
+    assert "# TYPE sem_blocks_total counter" in out.read_text()
+
+
+def test_metrics_subcommand_is_deterministic(capsys):
+    args = ["metrics", "--demo", "pi", "--scheme", "emeralds"]
+    assert reproduce.main(args) == 0
+    first = capsys.readouterr().out
+    assert reproduce.main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_every_benchmark_file_is_registered():
+    """The explicit registry replaces source-grep discovery: every
+    bench_*.py must be declared, and every declaration must exist."""
+    import sys
+    from pathlib import Path
+
+    bench_dir = Path(reproduce.__file__).parent.parent.parent / "benchmarks"
+    sys.path.insert(0, str(bench_dir))
+    try:
+        import common
+        on_disk = {p.stem[len("bench_"):] for p in bench_dir.glob("bench_*.py")}
+        assert on_disk == set(common.BENCHMARKS)
+        assert set(common.BENCHMARKS.values()) <= {"cli", "pytest"}
+    finally:
+        sys.path.remove(str(bench_dir))

@@ -126,3 +126,40 @@ class TestRendering:
         t.context_switch(0, None, "a")
         t.context_switch(10, "a", "b")
         assert t.context_switches == 2
+
+
+class TestRecordModeGuards:
+    def test_gantt_requires_full_recording(self):
+        t = Trace(record="jobs-only")
+        with pytest.raises(ValueError, match="record='full'"):
+            t.gantt_ascii(0, ms(1))
+
+    def test_cpu_share_requires_full_recording(self):
+        t = Trace(record="off")
+        with pytest.raises(ValueError, match="record='full'"):
+            t.cpu_share("a", 0, ms(1))
+
+    def test_error_names_current_mode(self):
+        t = Trace(record="jobs-only")
+        with pytest.raises(ValueError, match="jobs-only"):
+            t.gantt_ascii(0, ms(1))
+
+
+class TestSummary:
+    def test_counts_late_and_overdue_separately(self):
+        t = Trace()
+        t.job_released("a", 0, 100, 1)
+        t.job_completed("a", 1, 150)  # late
+        t.job_released("b", 0, 100, 1)  # never completes: overdue
+        text = t.summary(200)
+        assert "deadline violations: 2 (1 late, 1 overdue unfinished)" in text
+
+    def test_reports_per_task_response_stats(self):
+        t = Trace()
+        t.job_released("a", 0, 1000, 1)
+        t.job_completed("a", 1, 100)
+        t.job_released("a", 1000, 2000, 2)
+        t.job_completed("a", 2, 1300)
+        text = t.summary(2000)
+        assert "a:" in text
+        assert "p95" in text or "max" in text
