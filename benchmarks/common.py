@@ -66,6 +66,7 @@ BENCHMARKS = {
     "footprint": "pytest",
     "ipc": "pytest",
     "kernel_overhead": "pytest",
+    "net_faults": "cli",
     "obs": "cli",
     "table1": "pytest",
     "table2_fig2": "pytest",

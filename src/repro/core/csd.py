@@ -99,7 +99,8 @@ class CSDScheduler(Scheduler):
         index = self.queue_index_of(task)
         if index == self.fp_index:
             return (index, 0, task.effective_key)
-        return (index, task.effective_deadline, task.effective_key)
+        deadline, key = task.edf_rank()
+        return (index, deadline, key)
 
     # ------------------------------------------------------------------
     # membership
@@ -243,10 +244,12 @@ class CSDScheduler(Scheduler):
         """
         holder_index = self.queue_index_of(task)
         donor_index = self.queue_index_of(donor)
-        donor_deadline = donor.effective_deadline
-        inherited = (
-            int(donor_deadline) if donor_deadline != float("inf") else None
-        )
+        donor_deadline, donor_key = donor.edf_rank()
+        if donor_deadline == float("inf"):
+            inherited = None
+            donor_key = None
+        else:
+            inherited = int(donor_deadline)
         if donor_index > holder_index:
             # Donor is on a lower-priority queue; within the same queue
             # semantics below still apply, across queues nothing to do.
@@ -258,6 +261,7 @@ class CSDScheduler(Scheduler):
                 self.fp_queue.reposition(task)
                 return self.model.pi_standard_step(len(self.fp_queue))
             task.pi_deadline = inherited
+            task.pi_key = donor_key
             return self.model.pi_dp_step()
         # donor_index < holder_index: migrate the holder up.
         self._pi_home.setdefault(task, holder_index)
@@ -268,6 +272,7 @@ class CSDScheduler(Scheduler):
             self.fp_queue.add(task)
         else:
             task.pi_deadline = inherited
+            task.pi_key = donor_key
             self.dp_queues[donor_index].add(task)
         return self.model.pi_standard_step(
             max(len(self._queue_at(donor_index)), len(self._queue_at(holder_index)))
@@ -280,6 +285,7 @@ class CSDScheduler(Scheduler):
             self._queue_at(current).remove(task)
             task.csd_queue = home
             task.pi_deadline = None
+            task.pi_key = None
             task.effective_key = task.base_key
             self._queue_at(home).add(task)
             return self.model.pi_standard_step(
@@ -290,6 +296,7 @@ class CSDScheduler(Scheduler):
             self.fp_queue.reposition(task)
             return self.model.pi_standard_step(len(self.fp_queue))
         task.pi_deadline = None
+        task.pi_key = None
         return self.model.pi_dp_step()
 
     def _swap_with_placeholder(

@@ -51,7 +51,8 @@ class EDFScheduler(Scheduler):
         return 0
 
     def priority_rank(self, task: Schedulable):
-        return (0, task.effective_deadline, task.effective_key)
+        deadline, key = task.edf_rank()
+        return (0, deadline, key)
 
     def _block(self, task: Schedulable) -> int:
         queue = self.queue
@@ -82,11 +83,19 @@ class EDFScheduler(Scheduler):
 
     def _raise_priority(self, task: Schedulable, donor: Schedulable) -> int:
         # DP tasks are not kept sorted, so inheritance is an O(1)
-        # deadline overwrite (Section 6.1).
-        deadline = donor.effective_deadline
-        task.pi_deadline = int(deadline) if deadline != float("inf") else None
+        # overwrite of the deadline AND the tie-break key (Section 6.1).
+        # Without the key, a donation from an equal-deadline donor would
+        # leave the holder losing every tie and change nothing.
+        deadline, key = donor.edf_rank()
+        if deadline == float("inf"):
+            task.pi_deadline = None
+            task.pi_key = None
+        else:
+            task.pi_deadline = int(deadline)
+            task.pi_key = key
         return self.model.pi_dp_step()
 
     def _restore_priority(self, task: Schedulable) -> int:
         task.pi_deadline = None
+        task.pi_key = None
         return self.model.pi_dp_step()

@@ -54,6 +54,11 @@ class Schedulable:
             EDF queues.  ``None`` means "no active job".
         pi_deadline: Inherited absolute deadline (ns) or ``None``; EDF
             selection uses ``min(abs_deadline, pi_deadline)``.
+        pi_key: Tie-break key inherited alongside ``pi_deadline``.
+            Inheriting only the deadline is not enough: on a deadline
+            tie the holder must also win the donor's tie-break, or
+            equal-deadline tasks keep running ahead of it and the
+            donation is a no-op.
     """
 
     __slots__ = (
@@ -63,6 +68,7 @@ class Schedulable:
         "effective_key",
         "abs_deadline",
         "pi_deadline",
+        "pi_key",
         "csd_queue",
         "rank_cache",
         "_queue",
@@ -77,6 +83,7 @@ class Schedulable:
         self.effective_key: PriorityKey = base_key
         self.abs_deadline: Optional[int] = None
         self.pi_deadline: Optional[int] = None
+        self.pi_key: Optional[PriorityKey] = None
         #: Memoized ``Kernel.priority_rank`` tuple; ``None`` = stale.
         #: Every site that mutates the fields the rank derives from
         #: (``effective_key``, ``abs_deadline``, ``pi_deadline``,
@@ -96,6 +103,24 @@ class Schedulable:
         own = self.abs_deadline if self.abs_deadline is not None else _INFINITY
         inherited = self.pi_deadline if self.pi_deadline is not None else _INFINITY
         return min(own, inherited)
+
+    def edf_rank(self) -> Tuple[float, PriorityKey]:
+        """``(deadline, tie-break key)`` pair EDF selection orders by,
+        accounting for inheritance of both components."""
+        own = self.abs_deadline
+        own_rank = (
+            _INFINITY if own is None else own,
+            self.effective_key,
+        )
+        inherited = self.pi_deadline
+        if inherited is not None:
+            pi_rank = (
+                inherited,
+                self.pi_key if self.pi_key is not None else self.effective_key,
+            )
+            if pi_rank < own_rank:
+                return pi_rank
+        return own_rank
 
     def __repr__(self) -> str:
         state = "ready" if self.ready else "blocked"
@@ -172,25 +197,36 @@ class UnsortedQueue:
         """
         best: Optional[Schedulable] = None
         best_deadline = _INFINITY
+        best_key = None
         tasks = self._tasks
         for task in tasks:
             if not task.ready:
                 continue
             own = task.abs_deadline
             inherited = task.pi_deadline
+            key = task.effective_key
             if own is None:
                 deadline = _INFINITY if inherited is None else inherited
-            elif inherited is None or own <= inherited:
+                if inherited is not None and task.pi_key is not None:
+                    key = task.pi_key
+            elif inherited is None or own < inherited:
                 deadline = own
             else:
+                # Inherited deadline wins or ties: the tie-break key is
+                # inherited with it (a donation that only matched the
+                # deadline would otherwise change nothing).
                 deadline = inherited
-            # Tie-break on the static key, then name, for determinism.
+                pk = task.pi_key
+                if pk is not None and (inherited < own or pk < key):
+                    key = pk
+            # Tie-break on the effective key, then name, for determinism.
             if best is None or deadline < best_deadline or (
                 deadline == best_deadline
-                and (task.effective_key, task.name) < (best.effective_key, best.name)
+                and (key, task.name) < (best_key, best.name)
             ):
                 best = task
                 best_deadline = deadline
+                best_key = key
         steps = len(tasks)
         self.last_scan_steps = steps
         self.total_scan_steps += steps

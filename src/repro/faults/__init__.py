@@ -24,3 +24,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, Fault, FaultPlan
 
 __all__ = ["FAULT_KINDS", "Fault", "FaultPlan", "FaultInjector"]
+
+# run_chaos / run_net_chaos are imported from repro.faults.chaos
+# directly -- the chaos module pulls in the analysis + net stacks and
+# stays out of the package's base import cost.

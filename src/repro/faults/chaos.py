@@ -16,6 +16,8 @@ the determinism tests.
 
 from __future__ import annotations
 
+import hashlib
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -25,10 +27,17 @@ from repro.core.overhead import ZERO_OVERHEAD
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.kernel.kernel import Kernel
-from repro.kernel.program import Compute, Program
+from repro.kernel.program import Call, Compute, Program
 from repro.timeunits import ms
 
-__all__ = ["ChaosResult", "build_chaos_kernel", "run_chaos", "WORKLOAD"]
+__all__ = [
+    "ChaosResult",
+    "NetChaosResult",
+    "build_chaos_kernel",
+    "run_chaos",
+    "run_net_chaos",
+    "WORKLOAD",
+]
 
 #: The reference workload: (name, period ns, wcet ns, criticality).
 #: U = 0.2 + 0.2 + 0.2 + 0.2 = 0.8 -- comfortably feasible under EDF,
@@ -149,4 +158,241 @@ def run_chaos(
         ),
         recovery_ns=recovery_time_ns(trace, kernel.now, burst_end_ns),
         trace_signature=signature,
+    )
+
+
+# ----------------------------------------------------------------------
+# network chaos: the dependable-fieldbus harness
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class NetChaosResult:
+    """Outcome of one network chaos run (see :func:`run_net_chaos`)."""
+
+    seed: int
+    duration_ns: int
+    nodes: int
+    drop_p: float
+    corrupt_p: float
+    #: Retransmission bound in force (0 = retries disabled).
+    max_retransmits: int
+    #: Updates published by the writer (excludes rejoin re-broadcasts).
+    published: int
+    #: Worst replica's applied-updates / broadcast-sequences ratio.
+    delivery_ratio: float
+    per_node_updates: Dict[str, int]
+    frames_retransmitted: int
+    retransmits_exhausted: int
+    error_frames: int
+    bus_off_events: int
+    frames_delivered: int
+    #: Total wire wait (queue -> transmission start) across deliveries;
+    #: grows with retransmission traffic -- the latency cost of retries.
+    arbitration_wait_ns: int
+    seq_gaps: int
+    duplicates: int
+    stale_episodes: int
+    resyncs: int
+    rebroadcasts: int
+    worst_staleness_ns: int
+    worst_latency_ns: int
+    membership_changes: int
+    #: ``(time, observer, peer, "down"/"up")`` in detection order.
+    membership_events: Tuple = ()
+    #: sha256 over replica stats, bus counters, error-state transition
+    #: logs, and membership events -- the determinism fingerprint.
+    signature: str = field(repr=False, default="")
+
+
+def run_net_chaos(
+    seed: int,
+    duration_ns: int = ms(1000),
+    *,
+    nodes: int = 4,
+    drop_p: float = 0.0,
+    corrupt_p: float = 0.0,
+    dependability: bool = True,
+    max_retransmits: int = 8,
+    publish_period: int = ms(10),
+    heartbeat_period: int = ms(50),
+    freshness_ns: Optional[int] = None,
+    stale_policy: str = "hold",
+    silence_node: Optional[str] = None,
+    silence_at: Optional[int] = None,
+    rejoin_backoff_ns: Optional[int] = None,
+) -> NetChaosResult:
+    """One seeded chaos run against the replicated-channel cluster.
+
+    Builds an ``nodes``-node cluster whose writer (``n0``) publishes a
+    sequenced :class:`~repro.net.global_state.GlobalStateChannel`
+    update every ``publish_period`` while a seeded Bernoulli fault
+    hook drops/corrupts frames with probability ``drop_p`` /
+    ``corrupt_p``.  With ``dependability`` the bus retransmits
+    (bounded by ``max_retransmits``) and runs the CAN error state
+    machines; a :class:`~repro.net.membership.HeartbeatMonitor`
+    tracks liveness and re-syncs replicas on rejoin.
+
+    ``silence_node`` + ``silence_at`` crash that node's heartbeat
+    sender (and its publisher, if it is the writer) mid-run via
+    ``kernel.crash_thread``; ``rejoin_backoff_ns`` grants the sender
+    one restart after that back-off, modelling a rejoin.
+
+    Everything is a pure function of the arguments: the returned
+    ``signature`` is byte-identical across runs, processes, and
+    ``parallel_map`` worker counts.
+    """
+    from repro.net.cluster import Cluster
+    from repro.net.global_state import GlobalStateChannel
+    from repro.net.membership import HeartbeatMonitor
+
+    if nodes < 2:
+        raise ValueError("network chaos needs at least two nodes")
+    if not 0.0 <= drop_p <= 1.0 or not 0.0 <= corrupt_p <= 1.0:
+        raise ValueError("fault probabilities must be in [0, 1]")
+    if drop_p + corrupt_p > 1.0:
+        raise ValueError("drop_p + corrupt_p must not exceed 1")
+
+    cluster = Cluster()
+    names = [f"n{i}" for i in range(nodes)]
+    for name in names:
+        cluster.add_node(name, Kernel(EDFScheduler(ZERO_OVERHEAD)))
+    if dependability:
+        cluster.enable_dependability(max_retransmits)
+
+    # Per-frame Bernoulli verdicts, consumed in deterministic
+    # arbitration order -- the wire is the only source of randomness.
+    rng = random.Random(f"netchaos:{seed}")
+
+    def fault_hook(start: int, frame) -> str:
+        r = rng.random()
+        if r < drop_p:
+            return "drop"
+        if r < drop_p + corrupt_p:
+            return "corrupt"
+        return "ok"
+
+    if drop_p or corrupt_p:
+        cluster.bus.fault_hook = fault_hook
+
+    if freshness_ns is None:
+        # Default bound: three publish periods of silence is stale
+        # (one in flight + one driver poll + headroom).
+        freshness_ns = 3 * publish_period
+    channel = GlobalStateChannel(
+        cluster,
+        "chaos",
+        can_id=0x10,
+        writer_node=names[0],
+        driver_period=publish_period,
+        freshness_ns=freshness_ns,
+        stale_policy=stale_policy,
+    )
+
+    monitor = None
+    if dependability:
+        monitor = HeartbeatMonitor(cluster, period=heartbeat_period)
+        channel.attach_membership(monitor)
+
+    # The writer stops publishing before the end so in-flight frames
+    # (including retransmissions) drain and every replica settles.
+    cutoff = max(0, duration_ns - 4 * publish_period)
+    writer_kernel = cluster.nodes[names[0]]
+
+    def pub(kern, thread) -> None:
+        if kern.now <= cutoff:
+            channel.publish(kern, thread, ("v", kern.now))
+
+    writer_kernel.create_thread(
+        "gs-pub",
+        Program([Call(pub, label="gs-pub")]),
+        period=publish_period,
+        deadline=publish_period,
+    )
+
+    if silence_node is not None:
+        if silence_node not in cluster.nodes:
+            raise ValueError(f"unknown silence_node {silence_node}")
+        if silence_at is None:
+            silence_at = duration_ns // 2
+        victim = cluster.nodes[silence_node]
+        hb_name = f"hb-tx:{silence_node}"
+        to_crash = [hb_name]
+        if silence_node == names[0]:
+            to_crash.append("gs-pub")
+        if rejoin_backoff_ns is not None:
+            victim.set_restart_policy(
+                hb_name, max_restarts=1, backoff_ns=rejoin_backoff_ns
+            )
+
+        def crash(kern=victim, targets=tuple(to_crash)) -> None:
+            for target in targets:
+                kern.crash_thread(target, "silenced")
+
+        victim.schedule_event(silence_at, crash, label="net-chaos-silence")
+
+    cluster.run_until(duration_ns)
+
+    bus = cluster.bus
+    per_node_updates: Dict[str, int] = {}
+    seq_gaps = duplicates = stale_episodes = resyncs = 0
+    worst_staleness = worst_latency = 0
+    total_sequences = channel.published + channel.resync_broadcasts
+    ratio = 1.0
+    for node in sorted(channel.status_by_node):
+        status = channel.status_by_node[node]
+        per_node_updates[node] = status.updates
+        seq_gaps += status.gaps
+        duplicates += status.duplicates
+        stale_episodes += status.stale_count
+        resyncs += status.resyncs
+        worst_staleness = max(worst_staleness, status.staleness_max_ns)
+        worst_latency = max(worst_latency, status.latency_max_ns)
+        if total_sequences:
+            ratio = min(ratio, status.updates / total_sequences)
+
+    error_transitions = []
+    bus_off_events = 0
+    if bus.error_states is not None:
+        for node in sorted(bus.error_states):
+            state = bus.error_states[node]
+            bus_off_events += state.bus_off_events
+            error_transitions.append((node, tuple(state.transitions)))
+    membership_events = tuple(monitor.events) if monitor is not None else ()
+
+    blob = repr((
+        sorted(per_node_updates.items()),
+        seq_gaps, duplicates, stale_episodes, resyncs,
+        worst_staleness, worst_latency,
+        bus.frames_delivered, bus.frames_dropped, bus.frames_corrupted,
+        bus.frames_retransmitted, bus.retransmits_exhausted,
+        bus.error_frames, bus.frames_deferred_bus_off, bus.bits_carried,
+        tuple(error_transitions),
+        membership_events,
+    ))
+    return NetChaosResult(
+        seed=seed,
+        duration_ns=duration_ns,
+        nodes=nodes,
+        drop_p=drop_p,
+        corrupt_p=corrupt_p,
+        max_retransmits=bus.max_retransmits,
+        published=channel.published,
+        delivery_ratio=ratio,
+        per_node_updates=per_node_updates,
+        frames_retransmitted=bus.frames_retransmitted,
+        retransmits_exhausted=bus.retransmits_exhausted,
+        error_frames=bus.error_frames,
+        bus_off_events=bus_off_events,
+        frames_delivered=bus.frames_delivered,
+        arbitration_wait_ns=bus.total_arbitration_wait_ns,
+        seq_gaps=seq_gaps,
+        duplicates=duplicates,
+        stale_episodes=stale_episodes,
+        resyncs=resyncs,
+        rebroadcasts=channel.resync_broadcasts,
+        worst_staleness_ns=worst_staleness,
+        worst_latency_ns=worst_latency,
+        membership_changes=monitor.changes if monitor is not None else 0,
+        membership_events=membership_events,
+        signature=hashlib.sha256(blob.encode()).hexdigest(),
     )

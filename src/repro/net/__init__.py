@@ -16,18 +16,36 @@ from repro.net.analysis import (
     bus_utilization,
 )
 from repro.net.cluster import Cluster
-from repro.net.fieldbus import Delivery, Fieldbus, TransmitRequest
-from repro.net.frame import Frame, frame_bits
+from repro.net.errorstate import (
+    BUS_OFF,
+    ERROR_ACTIVE,
+    ERROR_PASSIVE,
+    CanErrorState,
+)
+from repro.net.fieldbus import VERDICTS, Delivery, Fieldbus, TransmitRequest
+from repro.net.frame import ERROR_FRAME_BITS, Frame, frame_bits
+from repro.net.global_state import GlobalStateChannel, ReplicaStatus
+from repro.net.membership import HEARTBEAT_CAN_ID, HeartbeatMonitor
 from repro.net.node import NetInterface, net_send
 
 __all__ = [
+    "BUS_OFF",
     "Cluster",
+    "CanErrorState",
     "Delivery",
+    "ERROR_ACTIVE",
+    "ERROR_FRAME_BITS",
+    "ERROR_PASSIVE",
     "Fieldbus",
     "Frame",
+    "GlobalStateChannel",
+    "HEARTBEAT_CAN_ID",
+    "HeartbeatMonitor",
     "MessageStream",
     "NetInterface",
+    "ReplicaStatus",
     "TransmitRequest",
+    "VERDICTS",
     "assign_deadline_monotonic_ids",
     "bus_response_times",
     "bus_schedulable",

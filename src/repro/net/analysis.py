@@ -91,18 +91,31 @@ def bus_utilization(streams: Sequence[MessageStream], bus: Fieldbus) -> float:
 
 
 def bus_response_times(
-    streams: Sequence[MessageStream], bus: Fieldbus
+    streams: Sequence[MessageStream],
+    bus: Fieldbus,
+    max_retransmits: int = 0,
 ) -> Dict[str, Optional[int]]:
     """Worst-case frame response time per stream (ns).
 
     ``None`` marks a stream whose fixed point exceeds its deadline
     (unschedulable).
+
+    ``max_retransmits`` extends the analysis with the classic CAN
+    error term: with up to k automatic retransmissions per frame, the
+    worst case re-sends the frame k more times, each preceded by an
+    error flag + delimiter on the wire, adding
+    ``k * (error_frame_time + C_i)`` to the response (the bounded
+    retransmission of :meth:`Fieldbus.enable_dependability`).
     """
+    if max_retransmits < 0:
+        raise ValueError("max_retransmits must be non-negative")
     bit_time = 1_000_000_000 // bus.bit_rate_bps
+    error_term_base = max_retransmits * bus.error_frame_time_ns
     ordered = sorted(streams, key=lambda s: (s.can_id, s.name))
     results: Dict[str, Optional[int]] = {}
     for index, stream in enumerate(ordered):
         own_time = bus.frame_time_ns(stream.size)
+        error_term = error_term_base + max_retransmits * own_time
         higher = ordered[:index]
         lower = ordered[index + 1 :]
         blocking = max(
@@ -117,9 +130,9 @@ def bus_response_times(
             )
             nxt = blocking + interference
             if nxt == queueing:
-                response = queueing + own_time
+                response = queueing + own_time + error_term
                 break
-            if nxt + own_time > stream.deadline:
+            if nxt + own_time + error_term > stream.deadline:
                 break
             queueing = nxt
         if response is not None and response > stream.deadline:
@@ -128,8 +141,17 @@ def bus_response_times(
     return results
 
 
-def bus_schedulable(streams: Sequence[MessageStream], bus: Fieldbus) -> bool:
+def bus_schedulable(
+    streams: Sequence[MessageStream],
+    bus: Fieldbus,
+    max_retransmits: int = 0,
+) -> bool:
     """True when every stream meets its deadline on ``bus``."""
     if bus_utilization(streams, bus) > 1.0:
         return False
-    return all(r is not None for r in bus_response_times(streams, bus).values())
+    return all(
+        r is not None
+        for r in bus_response_times(
+            streams, bus, max_retransmits=max_retransmits
+        ).values()
+    )

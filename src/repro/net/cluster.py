@@ -15,7 +15,7 @@ from typing import Dict, Iterable, Optional
 
 from repro.kernel.kernel import Kernel
 from repro.net.fieldbus import Fieldbus
-from repro.net.node import NetInterface
+from repro.net.node import DEFAULT_RX_CAPACITY, NetInterface
 
 __all__ = ["Cluster"]
 
@@ -41,6 +41,7 @@ class Cluster:
         kernel: Kernel,
         accept: Optional[Iterable[int]] = None,
         vector: int = 15,
+        rx_capacity: Optional[int] = DEFAULT_RX_CAPACITY,
     ) -> NetInterface:
         """Attach a kernel to the bus; returns its network interface."""
         if name in self.nodes:
@@ -49,10 +50,18 @@ class Cluster:
             raise ValueError(
                 f"node {name} joins at local time {kernel.now}, cluster is at {self._now}"
             )
-        interface = NetInterface(name, kernel, self.bus, accept=accept, vector=vector)
+        interface = NetInterface(
+            name, kernel, self.bus, accept=accept, vector=vector,
+            rx_capacity=rx_capacity,
+        )
         self.nodes[name] = kernel
         self.interfaces[name] = interface
         return interface
+
+    def enable_dependability(self, max_retransmits: int = 8) -> "Cluster":
+        """Arm the bus's error confinement + retransmission layer."""
+        self.bus.enable_dependability(max_retransmits)
+        return self
 
     def run_until(self, t_end: int) -> None:
         """Advance every node (and the bus) to ``t_end``."""

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Frame", "frame_bits"]
+__all__ = ["Frame", "frame_bits", "ERROR_FRAME_BITS"]
 
 #: Protocol overhead per frame in bits (CAN 2.0A: SOF, arbitration,
 #: control, CRC, ACK, EOF, interframe space -- 47 bits + stuffing;
@@ -21,6 +21,13 @@ FRAME_OVERHEAD_BITS = 47
 
 #: Largest payload a fieldbus frame carries (CAN: 8 bytes).
 MAX_PAYLOAD_BYTES = 8
+
+#: Wire cost of signalling one error (bits): a 6-bit error flag, the
+#: 8-bit error delimiter, and the 3-bit intermission before the bus
+#: frees again.  Charged by the bus after a failed transmission when
+#: the dependability layer is armed (matching the error-frame term of
+#: the classic CAN response-time analysis with faults).
+ERROR_FRAME_BITS = 17
 
 
 def frame_bits(payload_bytes: int) -> int:

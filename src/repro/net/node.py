@@ -34,9 +34,20 @@ NET_VECTOR = 15
 #: Device-access cost of handing a frame to the bus controller (ns).
 TX_ACCESS_NS = 3_000
 
+#: Default receive buffer depth.  Real CAN controllers hold a handful
+#: of frames; drivers that stall must overflow, not grow kernel
+#: memory without bound (this is a small-memory kernel).
+DEFAULT_RX_CAPACITY = 64
+
 
 class NetInterface:
-    """A node's attachment to the fieldbus."""
+    """A node's attachment to the fieldbus.
+
+    ``rx_capacity`` bounds the total frames buffered between the
+    controller (``_incoming``) and the driver queue (``rx_queue``);
+    further deliveries are dropped and counted in ``rx_overflowed``.
+    ``None`` means unbounded (the pre-dependability behaviour).
+    """
 
     def __init__(
         self,
@@ -45,7 +56,10 @@ class NetInterface:
         bus: "Fieldbus",
         accept: Optional[Iterable[int]] = None,
         vector: int = NET_VECTOR,
+        rx_capacity: Optional[int] = DEFAULT_RX_CAPACITY,
     ):
+        if rx_capacity is not None and rx_capacity <= 0:
+            raise ValueError("rx_capacity must be positive (or None)")
         self.name = name
         self.kernel = kernel
         self.bus = bus
@@ -53,6 +67,7 @@ class NetInterface:
         #: (``None`` = promiscuous).
         self.accept: Optional[Set[int]] = set(accept) if accept is not None else None
         self.vector = vector
+        self.rx_capacity = rx_capacity
         self.rx_queue: Deque[Frame] = deque()
         self.rx_event_name = f"net-rx:{name}"
         kernel.create_event(self.rx_event_name)
@@ -63,6 +78,7 @@ class NetInterface:
         self.frames_received = 0
         self.frames_filtered = 0
         self.frames_crc_dropped = 0
+        self.rx_overflowed = 0
 
     # ------------------------------------------------------------------
     # transmit path (thread -> driver -> bus)
@@ -91,17 +107,35 @@ class NetInterface:
         """
         if frame.sender == self.name:
             return  # a node does not receive its own transmission
+        error_state = self.error_state
         if frame.corrupted:
             # The controller's CRC check fails; the frame never reaches
             # the driver (no interrupt -- CAN controllers drop bad
-            # frames in hardware).
+            # frames in hardware).  The CRC check runs *before* the
+            # acceptance filter, so a corrupted frame bumps the REC
+            # even when its identifier would have been filtered.
             self.frames_crc_dropped += 1
+            if error_state is not None:
+                error_state.on_rx_error(self.kernel.now)
             self.kernel.trace.note(
                 self.kernel.now, "frame-crc-dropped", f"{self.name} id={frame.can_id:#x}"
             )
             return
+        if error_state is not None:
+            error_state.on_rx_success(self.kernel.now)
         if self.accept is not None and frame.can_id not in self.accept:
             self.frames_filtered += 1
+            return
+        if (
+            self.rx_capacity is not None
+            and len(self._incoming) + len(self.rx_queue) >= self.rx_capacity
+        ):
+            # The controller FIFO is full (the driver stalled): the
+            # frame is lost at this node, bounded memory preserved.
+            self.rx_overflowed += 1
+            self.kernel.trace.note(
+                self.kernel.now, "rx-overflow", f"{self.name} id={frame.can_id:#x}"
+            )
             return
         self._incoming.append(frame)
         self.kernel.interrupts.raise_interrupt(self.vector)
@@ -119,6 +153,15 @@ class NetInterface:
         if self.rx_queue:
             return self.rx_queue.popleft()
         return None
+
+    @property
+    def error_state(self):
+        """This node's CAN error state machine, or ``None`` while the
+        bus's dependability layer is disarmed."""
+        states = self.bus.error_states
+        if states is None:
+            return None
+        return self.bus.error_state(self.name)
 
 
 def net_send(

@@ -129,6 +129,7 @@ class ObsCollector:
         "_block_since", "switches", "dispatch_counts", "preempt_counts",
         "queue_depth_max", "queue_depth_sum",
         "pi_events", "blocking_intervals", "response_hists",
+        "_registry_sources",
     )
 
     def __init__(
@@ -164,6 +165,9 @@ class ObsCollector:
         self.pi_events: List[PiEvent] = []
         self.blocking_intervals: List[BlockingInterval] = []
         self.response_hists: Dict[str, Histogram] = {}
+        #: Extra exporters: ``fn(registry)`` called at the end of
+        #: :meth:`as_registry` (e.g. fieldbus dependability metrics).
+        self._registry_sources: List = []
 
     def attach(self, kernel: "Kernel") -> "ObsCollector":
         """Install this collector on ``kernel`` and return it."""
@@ -406,7 +410,16 @@ class ObsCollector:
             reg.counter("kernel_dispatches_total").inc(kernel.dispatch_count)
             reg.counter("kernel_events_popped_total").inc(kernel.events_popped)
             reg.gauge("kernel_virtual_time_ns").set(kernel.now)
+        for source in self._registry_sources:
+            source(reg)
         return reg
+
+    def add_registry_source(self, fn) -> "ObsCollector":
+        """Register ``fn(registry)`` to run at the end of every
+        :meth:`as_registry` export (subsystems outside the kernel --
+        the fieldbus, membership -- contribute their metrics here)."""
+        self._registry_sources.append(fn)
+        return self
 
     def metrics_json(self, indent: Optional[int] = 2) -> str:
         """Deterministic JSON export of the metrics registry."""

@@ -200,6 +200,38 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s series into this registry (and return it).
+
+        Counters add; gauges take the other's current value (running
+        maxima combine); histograms require identical bucket bounds
+        and add bucket counts.  Lets subsystem registries (e.g. the
+        fieldbus dependability metrics) join a kernel collector's
+        export without sharing hot-path state.
+        """
+        for (name, labels), theirs in other._metrics.items():
+            if theirs.kind == "counter":
+                mine = self._get(Counter, name, dict(labels))
+                mine.value += theirs.value
+            elif theirs.kind == "gauge":
+                mine = self._get(Gauge, name, dict(labels))
+                mine.set(theirs.value)
+                if theirs.max_seen > mine.max_seen:
+                    mine.max_seen = theirs.max_seen
+            else:
+                mine = self._get(
+                    Histogram, name, dict(labels), buckets=theirs.buckets
+                )
+                if mine.buckets != theirs.buckets:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket bounds differ"
+                    )
+                for i, n in enumerate(theirs.counts):
+                    mine.counts[i] += n
+                mine.total += theirs.total
+                mine.count += theirs.count
+        return self
+
     def _sorted_metrics(self) -> List[object]:
         return [
             self._metrics[key]

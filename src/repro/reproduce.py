@@ -14,6 +14,12 @@ chaos harness instead::
 
     python -m repro.reproduce faults --seed 42 --wcet-overrun 0.1
 
+The ``netfaults`` subcommand runs the dependable-fieldbus chaos
+harness (CAN error confinement, bounded retransmission, heartbeat
+membership, replica freshness)::
+
+    python -m repro.reproduce netfaults --drop 0.1 --silence n2
+
 The ``perf`` subcommand measures simulator throughput on the canonical
 workload and maintains the persistent perf trajectory::
 
@@ -371,6 +377,112 @@ def run_faults(argv: List[str]) -> int:
     return 0
 
 
+def run_netfaults(argv: List[str]) -> int:
+    """The ``netfaults`` subcommand: one dependable-fieldbus chaos run."""
+    from repro.faults.chaos import run_net_chaos
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce netfaults",
+        description="Run the dependable-fieldbus chaos harness once.",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--duration-ms", type=int, default=1000, help="virtual run length"
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="per-frame drop probability on the wire",
+    )
+    parser.add_argument(
+        "--corrupt", type=float, default=0.0, metavar="P",
+        help="per-frame corruption (CRC-failure) probability",
+    )
+    parser.add_argument(
+        "--retransmits", type=int, default=8,
+        help="retransmission bound per frame (0 = retries off)",
+    )
+    parser.add_argument(
+        "--no-dependability", action="store_true",
+        help="disarm error confinement, retries, and membership entirely",
+    )
+    parser.add_argument(
+        "--stale-policy", choices=("hold", "invalidate"), default="hold",
+        help="replica degradation once the freshness bound is exceeded",
+    )
+    parser.add_argument(
+        "--silence", metavar="NODE", default=None,
+        help="crash this node's heartbeat sender mid-run (e.g. n2)",
+    )
+    parser.add_argument(
+        "--rejoin-ms", type=int, default=None, metavar="MS",
+        help="restart the silenced sender after this back-off",
+    )
+    args = parser.parse_args(argv)
+    if args.duration_ms <= 0:
+        parser.error(f"--duration-ms must be positive (got {args.duration_ms})")
+    if args.nodes < 2:
+        parser.error(f"--nodes must be at least 2 (got {args.nodes})")
+    for flag, p in (("--drop", args.drop), ("--corrupt", args.corrupt)):
+        if not 0.0 <= p <= 1.0:
+            parser.error(f"{flag} must be in [0, 1] (got {p:g})")
+    if args.retransmits < 0:
+        parser.error(f"--retransmits must be non-negative (got {args.retransmits})")
+    result = run_net_chaos(
+        args.seed,
+        ms(args.duration_ms),
+        nodes=args.nodes,
+        drop_p=args.drop,
+        corrupt_p=args.corrupt,
+        dependability=not args.no_dependability,
+        max_retransmits=args.retransmits,
+        stale_policy=args.stale_policy,
+        silence_node=args.silence,
+        rejoin_backoff_ns=(
+            ms(args.rejoin_ms) if args.rejoin_ms is not None else None
+        ),
+    )
+    _banner(
+        f"Network chaos: seed {result.seed}, {result.nodes} nodes, "
+        f"{args.duration_ms} ms, drop {result.drop_p:g}, "
+        f"corrupt {result.corrupt_p:g}, "
+        f"retries {result.max_retransmits or 'off'}"
+    )
+    print(f"updates published:       {result.published}")
+    broadcasts = max(1, result.published + result.rebroadcasts)
+    rows = [
+        [node, updates, f"{updates / broadcasts:.3f}"]
+        for node, updates in sorted(result.per_node_updates.items())
+    ]
+    print(format_table(["replica", "updates", "ratio"], rows))
+    print(f"worst delivery ratio:    {result.delivery_ratio:.3f}")
+    print(
+        f"retransmissions:         {result.frames_retransmitted} "
+        f"({result.retransmits_exhausted} exhausted)"
+    )
+    print(f"error frames on wire:    {result.error_frames}")
+    print(f"bus-off events:          {result.bus_off_events}")
+    print(
+        f"sequence gaps / dups:    {result.seq_gaps} / {result.duplicates}"
+    )
+    print(
+        f"stale episodes/resyncs:  {result.stale_episodes} / {result.resyncs} "
+        f"(+{result.rebroadcasts} rejoin re-broadcasts)"
+    )
+    print(f"worst replica age:       {to_ms(result.worst_staleness_ns):.1f} ms")
+    print(f"worst update latency:    {to_us(result.worst_latency_ns):.0f} us")
+    if result.membership_events:
+        print("membership timeline:")
+        for time, observer, peer, status in result.membership_events:
+            print(
+                f"  {to_ms(time):8.1f} ms  {observer} sees {peer} {status}"
+            )
+    else:
+        print("membership timeline:     no transitions")
+    print(f"signature:               {result.signature[:16]}")
+    return 0
+
+
 def run_perf(argv: List[str]) -> int:
     """The ``perf`` subcommand: the canonical throughput measurement.
 
@@ -683,6 +795,8 @@ def main(argv: List[str] = None) -> int:
     raw = list(sys.argv[1:] if argv is None else argv)
     if raw and raw[0] == "faults":
         return run_faults(raw[1:])
+    if raw and raw[0] == "netfaults":
+        return run_netfaults(raw[1:])
     if raw and raw[0] == "perf":
         return run_perf(raw[1:])
     if raw and raw[0] == "bench":

@@ -28,10 +28,9 @@ def oracle_select(tasks):
     contenders = [t for t in tasks if t.ready and t.csd_queue == best_queue]
     if best_queue == 2:  # the FP queue
         return min(contenders, key=lambda t: (t.effective_key, t.name))
-    return min(
-        contenders,
-        key=lambda t: (t.effective_deadline, t.effective_key, t.name),
-    )
+    # DP queues: EDF on the effective (deadline, tie-break key) rank --
+    # priority inheritance carries the donor's key with its deadline.
+    return min(contenders, key=lambda t: (*t.edf_rank(), t.name))
 
 
 @st.composite

@@ -62,6 +62,42 @@ class TestEDFScheduler:
         assert task is holder
         s.restore_priority(holder)
         assert holder.pi_deadline is None
+        assert holder.pi_key is None
+
+    def test_pi_inherits_tie_break_key(self):
+        """A donation from an equal-deadline donor must still be
+        effective: the holder inherits the donor's tie-break key, so it
+        beats third parties that tie on the deadline but rank between
+        donor and holder."""
+        s = EDFScheduler(ZERO_OVERHEAD)
+        holder = ent("h", 9, ready=True, deadline=100)
+        middle = ent("m", 5, ready=True, deadline=100)
+        donor = ent("d", 1, ready=False, deadline=100)
+        for t in (holder, middle, donor):
+            s.add_task(t)
+        task, _ = s.select()
+        assert task is middle  # key 5 beats key 9 on the tie
+        s.raise_priority(holder, donor)
+        assert holder.pi_key == donor.effective_key
+        task, _ = s.select()
+        assert task is holder  # donor's key 1 now wins the tie
+        assert s.priority_rank(holder) < s.priority_rank(middle)
+        s.restore_priority(holder)
+        task, _ = s.select()
+        assert task is middle
+
+    def test_pi_key_is_transitive(self):
+        """Chained donations propagate the strongest (deadline, key)
+        rank, not just the deadline."""
+        s = EDFScheduler(ZERO_OVERHEAD)
+        top = ent("t", 1, ready=False, deadline=100)
+        mid = ent("m", 5, ready=False, deadline=100)
+        bottom = ent("b", 9, ready=True, deadline=100)
+        for t in (top, mid, bottom):
+            s.add_task(t)
+        s.raise_priority(mid, top)
+        s.raise_priority(bottom, mid)
+        assert bottom.pi_key == top.effective_key
 
     def test_remove_task(self):
         s = EDFScheduler(ZERO_OVERHEAD)
