@@ -48,6 +48,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: The committed perf trajectory lives at the repository root.
 TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 
+#: The committed cluster-simulation perf trajectory (same format,
+#: separate file: cluster throughput moves independently of the
+#: single-kernel hot path).
+CLUSTER_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
+
 #: Explicit registry of every benchmark: name -> invocation style.
 #: ``"cli"`` modules expose ``main(argv) -> int`` and are called
 #: in-process by ``reproduce bench``; ``"pytest"`` modules are
@@ -56,6 +61,7 @@ TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 #: source-grepping is gone.
 BENCHMARKS = {
     "ablations": "pytest",
+    "cluster": "cli",
     "cyclic": "pytest",
     "faults": "cli",
     "fieldbus": "pytest",
@@ -119,6 +125,12 @@ def trajectory_path() -> Path:
     """The perf trajectory file benchmark runs append to."""
     raw = os.environ.get("REPRO_BENCH_TRAJECTORY", "")
     return Path(raw) if raw else TRAJECTORY_PATH
+
+
+def cluster_trajectory_path() -> Path:
+    """The cluster perf trajectory file (``BENCH_cluster.json``)."""
+    raw = os.environ.get("REPRO_BENCH_CLUSTER_TRAJECTORY", "")
+    return Path(raw) if raw else CLUSTER_TRAJECTORY_PATH
 
 
 def bench_obs_mode() -> Optional[str]:

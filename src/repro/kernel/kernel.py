@@ -212,6 +212,23 @@ class Kernel:
         now = self.clock.now
         return self.events.schedule(time if time > now else now, action, label)
 
+    def next_event_time(self) -> Optional[int]:
+        """Earliest instant at which this kernel has work to do.
+
+        Returns the current clock time while a thread is mid-execution
+        (the kernel is busy *now*; its future actions -- transmits,
+        syscalls -- are not in the event queue), the next pending
+        event's time when the node is idle, or ``None`` when it is
+        fully quiescent (no runnable thread, no pending events): such
+        a node cannot act again until outside work -- a delivery, an
+        interrupt -- is scheduled into it.  This is the per-node peek
+        the cluster's adaptive conservative synchronization takes the
+        minimum over.
+        """
+        if self.running is not None or self._need_resched:
+            return self.clock.now
+        return self.events.peek_time()
+
     def request_reschedule(self) -> None:
         """Ask the dispatcher to re-evaluate after the current step."""
         self._need_resched = True

@@ -15,7 +15,7 @@ from repro.net.analysis import (
     bus_schedulable,
     bus_utilization,
 )
-from repro.net.cluster import Cluster
+from repro.net.cluster import SYNC_MODES, Cluster
 from repro.net.errorstate import (
     BUS_OFF,
     ERROR_ACTIVE,
@@ -44,6 +44,7 @@ __all__ = [
     "MessageStream",
     "NetInterface",
     "ReplicaStatus",
+    "SYNC_MODES",
     "TransmitRequest",
     "VERDICTS",
     "assign_deadline_monotonic_ids",

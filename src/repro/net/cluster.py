@@ -1,33 +1,94 @@
 """Multi-node clusters: 5-10 kernels sharing a fieldbus.
 
 Each node runs its own :class:`~repro.kernel.kernel.Kernel` (its own
-CPU and virtual clock); the cluster advances them in lockstep quanta
-and simulates the bus in between.  The quantum equals the smallest
-frame's wire time: since any frame needs at least that long on the
-bus, a frame transmitted during quantum k can only be delivered in
-quantum k+1 or later, so nodes never receive events in their local
+CPU and virtual clock); the cluster advances them through quantum
+windows and simulates the bus in between.  The quantum equals the
+smallest frame's wire time: since any frame needs at least that long
+on the bus, a frame transmitted during quantum k can only be delivered
+in quantum k+1 or later, so nodes never receive events in their local
 past -- the classic conservative-synchronization lookahead argument.
+
+Synchronization modes
+---------------------
+
+``sync="lockstep"`` steps every window unconditionally: O(horizon /
+quantum * nodes) work regardless of how much actually happens -- the
+reference implementation kept for differential testing.
+
+``sync="adaptive"`` (the default) computes the cluster's **next
+relevant instant** before each window -- the minimum over every
+kernel's :meth:`~repro.kernel.kernel.Kernel.next_event_time` and the
+bus's :meth:`~repro.net.fieldbus.Fieldbus.next_event_time` -- and,
+when it falls beyond the next window boundary, jumps straight to the
+window containing it.  The skipped windows provably contain no
+activity: an idle kernel cannot act before its next pending event
+(deliveries, releases, timers, and interrupts all live in its event
+queue; a *busy* kernel reports "now" and inhibits the jump), and the
+bus cannot produce a delivery, error frame, or state transition before
+its next transmission start, so the skipped ``run_until``/``process``
+calls were no-ops.  Jump targets stay on the lockstep window lattice
+(``now + k * quantum``), so every window that *does* contain activity
+is processed with exactly the lockstep boundaries; combined with the
+trace's adjacent-segment merging this makes adaptive runs
+**byte-identical** to lockstep -- same full-trace sha256 signatures,
+same delivery order, same bus statistics (property-tested).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from functools import partial
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.kernel.kernel import Kernel
 from repro.net.fieldbus import Fieldbus
 from repro.net.node import DEFAULT_RX_CAPACITY, NetInterface
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "SYNC_MODES"]
+
+#: Valid cluster synchronization modes.
+SYNC_MODES = ("lockstep", "adaptive")
 
 
 class Cluster:
-    """A set of kernels joined by one fieldbus."""
+    """A set of kernels joined by one fieldbus.
 
-    def __init__(self, bus: Optional[Fieldbus] = None):
+    Args:
+        bus: The shared fieldbus (a fresh 1 Mbit/s one by default).
+        sync: ``"adaptive"`` (default) skips provably silent quantum
+            windows; ``"lockstep"`` steps every window -- the escape
+            hatch for differential testing.  Both produce byte-identical
+            traces.
+    """
+
+    def __init__(self, bus: Optional[Fieldbus] = None, sync: str = "adaptive"):
+        if sync not in SYNC_MODES:
+            raise ValueError(
+                f"unknown sync mode {sync!r} (expected one of {SYNC_MODES})"
+            )
         self.bus = bus if bus is not None else Fieldbus()
+        self.sync = sync
         self.nodes: Dict[str, Kernel] = {}
         self.interfaces: Dict[str, NetInterface] = {}
         self._now = 0
+        # statistics
+        #: Quantum windows actually processed (kernels stepped + bus
+        #: arbitrated).  Lockstep processes ceil(horizon / quantum) of
+        #: them; adaptive only the ones containing activity.
+        self.sync_rounds = 0
+        #: Silent windows the adaptive mode jumped over.
+        self.windows_skipped = 0
+        #: Deliveries not scheduled because the receiver's acceptance
+        #: filter could never match (the interface's ``frames_filtered``
+        #: is bumped when the delivery instant passes instead of paying
+        #: a kernel event + closure for a guaranteed no-op).
+        self.deliveries_suppressed = 0
+        # Suppressed deliveries whose delivery instant has not passed
+        # yet: ``(delivery_time, interfaces_to_bump)``.  The lockstep
+        # reference bumps ``frames_filtered`` inside the no-op
+        # ``deliver`` event at delivery time; deferring the suppressed
+        # bump the same way keeps the stats byte-identical at every
+        # cluster boundary, including frames still in flight at t_end.
+        self._deferred_filter_stats: List[Tuple[int, Tuple[NetInterface, ...]]] = []
 
     @property
     def now(self) -> int:
@@ -71,30 +132,194 @@ class Cluster:
             self._now = t_end
             return
         quantum = self.bus.min_frame_time_ns
-        while self._now < t_end:
-            boundary = min(self._now + quantum, t_end)
-            for kernel in self.nodes.values():
+        if not quantum or quantum <= 0:
+            # A zero (or undefined) minimum frame time gives the
+            # conservative synchronization no lookahead: the window
+            # loop would never make progress.
+            raise ValueError(
+                f"bus.min_frame_time_ns must be a positive lookahead "
+                f"(got {quantum!r}); a bus whose smallest frame takes "
+                "no wire time cannot bound conservative synchronization"
+            )
+        if self.sync == "adaptive":
+            self._run_adaptive(t_end, quantum)
+        else:
+            self._run_lockstep(t_end, quantum)
+
+    def _run_lockstep(self, t_end: int, quantum: int) -> None:
+        """The reference loop: every window, every node, every time."""
+        interfaces = list(self.interfaces.values())
+        kernels = list(self.nodes.values())
+        process = self.bus.process
+        now = self._now
+        while now < t_end:
+            boundary = now + quantum
+            if boundary > t_end:
+                boundary = t_end
+            self.sync_rounds += 1
+            for kernel in kernels:
                 # A node may have overshot the previous boundary while
                 # charging kernel costs (kernel code is not preempted
                 # by quantum edges); never ask it to run backwards.
-                if kernel.now < boundary:
+                if kernel.clock.now < boundary:
                     kernel.run_until(boundary)
             # Bus work that *starts* by the boundary completes at
             # boundary + >= one frame time, i.e. in every node's local
             # future; deliveries are scheduled into the kernels now.
-            for delivery in self.bus.process(boundary):
-                for interface in self.interfaces.values():
-                    self._schedule_delivery(interface, delivery)
-            self._now = boundary
+            deliveries = process(boundary)
+            if deliveries:
+                self._dispatch_deliveries(deliveries, interfaces, prefilter=False)
+            self._now = now = boundary
 
-    def _schedule_delivery(self, interface: NetInterface, delivery) -> None:
-        kernel = interface.kernel
-        when = max(delivery.time, kernel.now)
-        kernel.schedule_event(
-            when,
-            lambda frame=delivery.frame, iface=interface: iface.deliver(frame),
-            label=f"net-delivery:{delivery.frame.can_id:#x}",
-        )
+    def _run_adaptive(self, t_end: int, quantum: int) -> None:
+        """The event-driven loop: jump over provably silent windows.
+
+        One pass per round computes each kernel's conservative
+        next-activity bound (inlining the :meth:`Kernel.next_event_time`
+        logic: this loop runs once per node per round and the call
+        overhead is measurable).  The raw heap head is used without
+        trimming cancelled entries -- a cancelled head's time is a lower
+        bound on the true next event, so the worst case is processing a
+        window lockstep would also have processed, never skipping an
+        active one.  The same bounds then drive per-node laziness: a
+        kernel with nothing due by the boundary would only idle-jump its
+        clock, and its trace's adjacent-IDLE merging makes deferring
+        that jump invisible, so it is left alone until it has actual
+        work (the final boundary runs everyone, returning all clocks at
+        ``t_end``).
+        """
+        interfaces = list(self.interfaces.values())
+        kernels = list(self.nodes.values())
+        n = len(kernels)
+        next_times = [0] * n
+        bus = self.bus
+        process = bus.process
+        bus_next = bus.next_event_time
+        rounds = 0
+        skipped = 0
+        now = self._now
+        try:
+            while now < t_end:
+                boundary = now + quantum
+                earliest = None
+                for i in range(n):
+                    kernel = kernels[i]
+                    if kernel.running is not None or kernel._need_resched:
+                        t = kernel.clock.now
+                    else:
+                        heap = kernel.events._heap
+                        t = heap[0][0] if heap else None
+                    next_times[i] = t
+                    if t is not None and (earliest is None or t < earliest):
+                        earliest = t
+                t = bus_next()
+                if t is not None and (earliest is None or t < earliest):
+                    earliest = t
+                if earliest is None:
+                    # Fully quiescent: no pending kernel events anywhere
+                    # and nothing queued on the bus.  Nothing can happen
+                    # before t_end.
+                    boundary = t_end
+                elif earliest > boundary:
+                    # First possible activity lies in a later window:
+                    # jump to that window's boundary.  Staying on the
+                    # lockstep lattice keeps every *active* window's
+                    # boundaries identical to lockstep's.
+                    boundary = now + quantum * (
+                        (earliest - now + quantum - 1) // quantum
+                    )
+                if boundary >= t_end:
+                    boundary = t_end
+                    for kernel in kernels:
+                        if kernel.clock.now < boundary:
+                            kernel.run_until(boundary)
+                else:
+                    for i in range(n):
+                        kernel = kernels[i]
+                        t = next_times[i]
+                        if (
+                            t is not None
+                            and t <= boundary
+                            and kernel.clock.now < boundary
+                        ):
+                            kernel.run_until(boundary)
+                rounds += 1
+                skipped += (boundary - now - 1) // quantum
+                if self._deferred_filter_stats:
+                    self._flush_filter_stats(boundary)
+                deliveries = process(boundary)
+                if deliveries:
+                    self._dispatch_deliveries(deliveries, interfaces, prefilter=True)
+                self._now = now = boundary
+        finally:
+            self.sync_rounds += rounds
+            self.windows_skipped += skipped
+
+    def _dispatch_deliveries(self, deliveries, interfaces, prefilter: bool) -> None:
+        """Schedule completed bus deliveries into the receiving kernels.
+
+        With ``prefilter`` (the adaptive mode's delivery batching) each
+        delivery is routed only to interfaces that can actually consume
+        it: the sender never hears its own frame (``deliver`` returns
+        immediately, touching nothing), and -- while the dependability
+        layer is disarmed -- a receiver whose acceptance filter rejects
+        the identifier gets its ``frames_filtered`` bumped here instead
+        of paying a scheduled kernel event plus a closure for a
+        guaranteed no-op ``deliver`` call.  Corrupted frames always ship
+        (the CRC check runs *before* the acceptance filter and must
+        count at every receiver), and with error confinement armed
+        filtered frames ship too -- ``deliver`` feeds the receive error
+        counters before filtering, exactly like a real CAN controller.
+        Without ``prefilter`` (the lockstep reference) every delivery is
+        scheduled into every node, the seed behaviour the differential
+        tests compare against.
+        """
+        suppressed = 0
+        error_states = self.bus.error_states
+        for delivery in deliveries:
+            frame = delivery.frame
+            time = delivery.time
+            sender = frame.sender
+            can_id = frame.can_id
+            route = prefilter and error_states is None and not frame.corrupted
+            label = f"net-delivery:{can_id:#x}"
+            filtered = None
+            for interface in interfaces:
+                if prefilter and sender == interface.name:
+                    continue
+                if route:
+                    accept = interface.accept
+                    if accept is not None and can_id not in accept:
+                        if filtered is None:
+                            filtered = [interface]
+                        else:
+                            filtered.append(interface)
+                        suppressed += 1
+                        continue
+                kernel = interface.kernel
+                kernel_now = kernel.clock.now
+                kernel.events.schedule(
+                    time if time > kernel_now else kernel_now,
+                    partial(interface.deliver, frame),
+                    label,
+                )
+            if filtered is not None:
+                # ``frames_filtered`` moves when the frame would have
+                # been heard, not when the bus completed it -- exactly
+                # like the reference's no-op deliver events.
+                self._deferred_filter_stats.append((time, tuple(filtered)))
+        self.deliveries_suppressed += suppressed
+
+    def _flush_filter_stats(self, up_to: int) -> None:
+        """Apply suppressed-delivery stats whose instant has passed."""
+        keep = []
+        for time, filtered in self._deferred_filter_stats:
+            if time <= up_to:
+                for interface in filtered:
+                    interface.frames_filtered += 1
+            else:
+                keep.append((time, filtered))
+        self._deferred_filter_stats = keep
 
     def run_for(self, duration: int) -> None:
         """Advance by ``duration`` ns of global time."""

@@ -169,6 +169,28 @@ class Fieldbus:
     def pending_count(self) -> int:
         return len(self._future) + len(self._ready)
 
+    def next_event_time(self) -> Optional[int]:
+        """Earliest instant at which the bus can start (or resume)
+        transmitting, or ``None`` when nothing is queued.
+
+        A conservative lower bound on the bus's next observable action:
+        no delivery, error frame, or error-state transition can happen
+        before the next transmission *starts*, and a start needs a
+        request (``_ready``/``_future``) and a free bus
+        (``busy_until``).  The cluster's adaptive synchronization skips
+        quanta wholesale up to this instant: :meth:`process` calls on
+        earlier horizons are provably no-ops (bus-off deferrals and
+        suspend-transmission retries re-enter ``_future`` with their
+        recovery instants as availability times, so they are covered).
+        """
+        if self._ready:
+            return self.busy_until
+        if self._future:
+            available = self._future[0][0]
+            busy = self.busy_until
+            return available if available > busy else busy
+        return None
+
     def process(self, horizon: int) -> List[Delivery]:
         """Arbitrate and transmit everything that *starts* by ``horizon``.
 
