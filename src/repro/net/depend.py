@@ -77,33 +77,40 @@ def populate_net_registry(
             registry.counter("can_state_transitions_total", node=node).inc(
                 len(state.transitions)
             )
-    for name in sorted(cluster.interfaces):
-        iface = cluster.interfaces[name]
+    # Interface counters and channel state live on their nodes -- in a
+    # worker shard under sync="parallel" -- so go through the cluster's
+    # location-transparent accessors (plain attribute reads in serial
+    # modes).
+    interface_stats = cluster.interface_stats()
+    for name in sorted(interface_stats):
+        stats = interface_stats[name]
         registry.counter("net_tx_frames_total", node=name).inc(
-            iface.frames_sent
+            stats["frames_sent"]
         )
         registry.counter("net_rx_frames_total", node=name).inc(
-            iface.frames_received
+            stats["frames_received"]
         )
         registry.counter("net_rx_filtered_total", node=name).inc(
-            iface.frames_filtered
+            stats["frames_filtered"]
         )
         registry.counter("net_rx_crc_dropped_total", node=name).inc(
-            iface.frames_crc_dropped
+            stats["frames_crc_dropped"]
         )
         registry.counter("net_rx_overflow_total", node=name).inc(
-            iface.rx_overflowed
+            stats["rx_overflowed"]
         )
     for channel in channels:
         ch = channel.name
+        writer_stats = channel.writer_stats()
         registry.counter("gs_published_total", channel=ch).inc(
-            channel.published
+            writer_stats["published"]
         )
         registry.counter("gs_rebroadcasts_total", channel=ch).inc(
-            channel.resync_broadcasts
+            writer_stats["resync_broadcasts"]
         )
-        for node in sorted(channel.status_by_node):
-            status = channel.status_by_node[node]
+        statuses = channel.statuses()
+        for node in sorted(statuses):
+            status = statuses[node]
             labels = {"channel": ch, "node": node}
             registry.counter("gs_updates_total", **labels).inc(status.updates)
             registry.counter("gs_seq_gaps_total", **labels).inc(status.gaps)

@@ -96,6 +96,11 @@ class HeartbeatMonitor:
         self.events: List[MembershipEvent] = []
         self.changes = 0
         self._callbacks: Dict[str, List[Callable[[int, str, bool], None]]] = {}
+        # The global transition record is cross-kernel state: route it
+        # through the cluster's effect-log barrier so ``events`` comes
+        # out in deterministic global order in every sync mode (and so
+        # the parent's copy stays authoritative under sync="parallel").
+        self._handle = cluster.register_shared(self)
 
         for node_name, kernel in cluster.nodes.items():
             interface = cluster.interfaces[node_name]
@@ -182,12 +187,32 @@ class HeartbeatMonitor:
     def _transition(
         self, kern: "Kernel", observer: str, peer: str, up: bool
     ) -> None:
+        # Node-local consequences happen immediately (the observer's
+        # view, its trace, its callbacks -- all same-node state, valid
+        # inside a worker shard); the *global* transition record is
+        # staged on the effect log and lands via ``_apply_transition``
+        # at the window barrier, merged across nodes by (time, node,
+        # seq).
         self._alive[observer][peer] = up
         status = "up" if up else "down"
-        self.events.append((kern.now, observer, peer, status))
-        self.changes += 1
+        self.cluster.log_effect(
+            observer, ("ms", kern.now, self._handle, observer, peer, up)
+        )
         kern.trace.note(
             kern.now, f"membership-{status}", f"{observer} sees {peer} {status}"
         )
         for fn in self._callbacks.get(observer, ()):
             fn(kern.now, peer, up)
+
+    def _apply_transition(
+        self, time: int, observer: str, peer: str, up: bool
+    ) -> None:
+        """Barrier-side effect application (parent process).
+
+        Re-setting ``_alive`` is idempotent in the serial modes (the
+        observer already flipped its own entry) and refreshes the
+        parent's copy when the flip happened inside a worker.
+        """
+        self._alive[observer][peer] = up
+        self.events.append((time, observer, peer, "up" if up else "down"))
+        self.changes += 1

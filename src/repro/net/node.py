@@ -73,6 +73,17 @@ class NetInterface:
         kernel.create_event(self.rx_event_name)
         kernel.interrupts.register(vector, self._isr)
         self._incoming: Deque[Frame] = deque()
+        # Cluster effect log (set by ``Cluster.add_node``): when
+        # present, cross-kernel side effects are staged there and
+        # applied at the window barrier in deterministic merge order
+        # instead of touching the bus inline.  ``None`` for standalone
+        # interfaces driven directly against a bus.
+        self._effect_log = None
+        # Set inside parallel workers for the interfaces they own:
+        # receive-side error-state updates are then logged for the
+        # parent (which holds the authoritative state machines) rather
+        # than applied to the forked local copy.
+        self._log_rx_state = False
         # statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -92,7 +103,14 @@ class NetInterface:
             sender=self.name,
         )
         self.kernel.charge(TX_ACCESS_NS, "net")
-        self.bus.queue(self.kernel.now, stamped)
+        if self._effect_log is not None:
+            # Cluster-attached: stage for the barrier merge (the bus's
+            # arbitration sequence numbers are assigned there, in
+            # global (time, node, seq) order -- identical for serial
+            # and parallel execution).
+            self._effect_log.append(("tx", self.kernel.now, stamped))
+        else:
+            self.bus.queue(self.kernel.now, stamped)
         self.frames_sent += 1
 
     # ------------------------------------------------------------------
@@ -116,13 +134,19 @@ class NetInterface:
             # even when its identifier would have been filtered.
             self.frames_crc_dropped += 1
             if error_state is not None:
-                error_state.on_rx_error(self.kernel.now)
+                if self._log_rx_state:
+                    self._effect_log.append(("rx", self.kernel.now, False))
+                else:
+                    error_state.on_rx_error(self.kernel.now)
             self.kernel.trace.note(
                 self.kernel.now, "frame-crc-dropped", f"{self.name} id={frame.can_id:#x}"
             )
             return
         if error_state is not None:
-            error_state.on_rx_success(self.kernel.now)
+            if self._log_rx_state:
+                self._effect_log.append(("rx", self.kernel.now, True))
+            else:
+                error_state.on_rx_success(self.kernel.now)
         if self.accept is not None and frame.can_id not in self.accept:
             self.frames_filtered += 1
             return

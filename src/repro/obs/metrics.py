@@ -232,6 +232,21 @@ class MetricsRegistry:
                 mine.count += theirs.count
         return self
 
+    @classmethod
+    def merged(cls, registries) -> "MetricsRegistry":
+        """One registry folding ``registries`` together, in order.
+
+        The cross-process aggregation path: parallel cluster workers
+        export their shards' registries (plain picklable objects) and
+        the parent folds them -- merge order is the deterministic
+        shard order, so the combined export is byte-identical across
+        worker counts.
+        """
+        out = cls()
+        for registry in registries:
+            out.merge(registry)
+        return out
+
     def _sorted_metrics(self) -> List[object]:
         return [
             self._metrics[key]

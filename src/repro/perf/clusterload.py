@@ -3,8 +3,8 @@
 The cluster analogue of :mod:`repro.perf.workloads`: one parameterized
 configuration -- a ring of periodic senders over the 1 Mbit/s fieldbus
 -- measured identically by ``benchmarks/bench_cluster.py`` and the CI
-``cluster-perf-smoke`` job, so every entry in ``BENCH_cluster.json``
-is comparable.
+``cluster-perf-smoke``/``cluster-parallel-smoke`` jobs, so every entry
+in ``BENCH_cluster.json`` is comparable.
 
 The ring topology is deliberately filter-heavy: node *i* broadcasts
 CAN id ``0x100 + i`` but accepts only its predecessor's id, so on an
@@ -18,23 +18,34 @@ frame (111 us of wire time at 1 Mbit/s) every
 idle-heavy regime (tens of milliseconds of silence between frames --
 where adaptive synchronization's window skipping dominates);
 ``u = 0.9`` keeps the bus saturated (every quantum has traffic; the
-win there comes from delivery pre-filtering and loop overhead).
+win there comes from delivery pre-filtering, loop overhead, and --
+under ``sync="parallel"`` -- running the per-node application work in
+worker shards).
+
+``app_load`` models the *application* compute that real nodes run
+alongside their bus traffic.  ``"none"`` is the bare driver workload
+(kept for the idle-heavy regime, whose whole point is silence);
+``"standard"`` adds :data:`APP_THREADS` periodic compute threads per
+node -- that per-node work is what parallel execution has to win on,
+since the bus itself is inherently serial.  The default ``"auto"``
+picks ``"standard"`` at ``utilization >= 0.3`` and ``"none"`` below.
 
 Two measurements per configuration, as in the kernel harness:
 
 * **speed** (:func:`run_cluster_throughput`): wall time and sim-ns
-  per wall-second at ``jobs-only`` recording, GC suspended;
+  per wall-second at ``jobs-only`` recording, GC suspended (parallel
+  pools are pre-started so the fork is setup, not measurement);
 * **behavior** (:func:`cluster_signatures`): per-node sha256
   signatures of the *full* traces plus the delivery timelines and bus
-  counters.  Adaptive synchronization is only correct if these are
-  byte-identical to lockstep's.
+  counters.  Adaptive and parallel synchronization are only correct
+  if these are byte-identical to lockstep's.
 """
 
 from __future__ import annotations
 
 import gc
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.edf import EDFScheduler
 from repro.core.overhead import ZERO_OVERHEAD
@@ -49,6 +60,7 @@ __all__ = [
     "CLUSTER_HORIZON_NS",
     "SIGNATURE_HORIZON_NS",
     "FRAME_SIZE",
+    "APP_LOADS",
     "build_ring_cluster",
     "cluster_config",
     "run_cluster_throughput",
@@ -71,6 +83,32 @@ FRAME_SIZE = 8
 #: kernels actually run application code, not just drivers.
 SENDER_COMPUTE_NS = us(10)
 
+#: Application-load shapes (see module docstring).
+APP_LOADS = ("none", "standard")
+
+#: ``app_load="standard"``: per-node periodic compute threads
+#: (count, per-job virtual compute, and staggered periods).
+APP_THREADS = 3
+APP_COMPUTE_NS = us(30)
+APP_PERIODS_NS = (us(200), us(250), us(300))
+
+#: Host-CPU iterations of the per-job checksum churn.  Virtual
+#: ``Compute`` advances the clock for free, so on its own it cannot
+#: model the *host* cost of application code -- the thing worker
+#: shards actually parallelize.  Each app job therefore also runs a
+#: deterministic integer spin (~90 us of real CPU at ~0.09 us/iter),
+#: keeping trace volume unchanged while giving every node a realistic
+#: per-window compute bill.
+APP_SPIN_ITERS = 1000
+
+
+def _app_spin(kern, t):
+    """Deterministic pure-integer churn standing in for app compute."""
+    acc = 0x12345678
+    for _ in range(APP_SPIN_ITERS):
+        acc = (acc * 1103515245 + 12345) & 0xFFFFFFFF
+    return acc
+
 
 def sender_period_ns(nodes: int, utilization: float, bus: Fieldbus) -> int:
     """Period making ``nodes`` senders offer ``utilization`` bus load."""
@@ -78,25 +116,40 @@ def sender_period_ns(nodes: int, utilization: float, bus: Fieldbus) -> int:
     return max(frame_ns + 1, int(nodes * frame_ns / utilization))
 
 
+def resolve_app_load(app_load: str, utilization: float) -> str:
+    """Resolve ``"auto"`` against the regime (see module docstring)."""
+    if app_load == "auto":
+        return "standard" if utilization >= 0.3 else "none"
+    if app_load not in APP_LOADS:
+        raise ValueError(
+            f"app_load {app_load!r}; expected 'auto' or one of {APP_LOADS}"
+        )
+    return app_load
+
+
 def build_ring_cluster(
     nodes: int,
     utilization: float,
     sync: str,
     record: str = "jobs-only",
-) -> Tuple[Cluster, Dict[str, List[Tuple[int, int]]]]:
+    workers: Optional[int] = None,
+    app_load: str = "auto",
+) -> Cluster:
     """Build (but do not run) the canonical ring cluster.
 
-    Returns the cluster and the per-node received-frame timelines
-    (``name -> [(local_time, can_id), ...]``, filled in as it runs).
+    Per-node received-frame timelines accumulate on each interface's
+    ``rx_timeline`` (``[(local_time, can_id), ...]``) so they live
+    wherever the node's kernel runs; collect them afterwards with
+    ``cluster.rx_timelines()``.
     """
     if nodes < 2:
         raise ValueError(f"ring needs at least 2 nodes (got {nodes})")
     if not 0.0 < utilization <= 1.0:
         raise ValueError(f"utilization must be in (0, 1] (got {utilization})")
+    app_load = resolve_app_load(app_load, utilization)
     bus = Fieldbus(1_000_000)
-    cluster = Cluster(bus=bus, sync=sync)
+    cluster = Cluster(bus=bus, sync=sync, workers=workers)
     period = sender_period_ns(nodes, utilization, bus)
-    received: Dict[str, List[Tuple[int, int]]] = {}
     for i in range(nodes):
         name = f"n{i}"
         kernel = Kernel(EDFScheduler(ZERO_OVERHEAD), record=record)
@@ -104,7 +157,7 @@ def build_ring_cluster(
         # receiver per frame, n-2 filter rejections.
         predecessor_id = 0x100 + (i - 1) % nodes
         iface = cluster.add_node(name, kernel, accept={predecessor_id})
-        timeline = received[name] = []
+        iface.rx_timeline = []
 
         kernel.create_thread(
             f"tx{i}",
@@ -116,12 +169,12 @@ def build_ring_cluster(
             deadline=period,
         )
 
-        def drain(kern, t, iface=iface, timeline=timeline):
+        def drain(kern, t, iface=iface):
             while True:
                 frame = iface.receive()
                 if frame is None:
                     break
-                timeline.append((kern.now, frame.can_id))
+                iface.rx_timeline.append((kern.now, frame.can_id))
 
         kernel.create_thread(
             f"rx{i}",
@@ -129,7 +182,17 @@ def build_ring_cluster(
             period=period,
             deadline=period,
         )
-    return cluster, received
+
+        if app_load == "standard":
+            for j in range(APP_THREADS):
+                app_period = APP_PERIODS_NS[j % len(APP_PERIODS_NS)]
+                kernel.create_thread(
+                    f"app{j}-{i}",
+                    Program([Compute(APP_COMPUTE_NS), Call(_app_spin)]),
+                    period=app_period,
+                    deadline=app_period,
+                )
+    return cluster
 
 
 def cluster_config(
@@ -138,9 +201,18 @@ def cluster_config(
     sync: str,
     record: str = "jobs-only",
     horizon_ns: int = CLUSTER_HORIZON_NS,
+    workers: int = 0,
+    app_load: str = "auto",
 ) -> Dict:
-    """The measurement configuration fingerprinted into the trajectory."""
-    return {
+    """The measurement configuration fingerprinted into the trajectory.
+
+    ``app_load`` and ``workers`` join the fingerprint only when they
+    actually shape the run (keeps pre-existing config hashes -- and
+    therefore regression baselines -- valid for the unchanged
+    configurations, and makes the trajectory gate compare parallel
+    entries only against entries with the same worker count).
+    """
+    config = {
         "workload": "ring-cluster/8-byte-frames",
         "nodes": nodes,
         "utilization": utilization,
@@ -148,6 +220,12 @@ def cluster_config(
         "horizon_ns": horizon_ns,
         "record": record,
     }
+    resolved = resolve_app_load(app_load, utilization)
+    if resolved != "none":
+        config["app_load"] = resolved
+    if workers:
+        config["workers"] = workers
+    return config
 
 
 def run_cluster_throughput(
@@ -156,13 +234,22 @@ def run_cluster_throughput(
     sync: str,
     record: str = "jobs-only",
     horizon_ns: int = CLUSTER_HORIZON_NS,
+    workers: Optional[int] = None,
+    app_load: str = "auto",
 ) -> Dict:
     """One timed run; returns a trajectory-ready report dict.
 
     Same timing discipline as the kernel harness: full collection,
-    collector suspended across the timed section, restored after.
+    collector suspended across the timed section, restored after.  For
+    ``sync="parallel"`` the worker pool is started *before* the timed
+    section (the fork is one-time setup, not steady-state cost) and the
+    report gains the worker count and per-worker busy wall times.
     """
-    cluster, _received = build_ring_cluster(nodes, utilization, sync, record)
+    cluster = build_ring_cluster(
+        nodes, utilization, sync, record, workers=workers, app_load=app_load
+    )
+    if sync == "parallel":
+        cluster.start_workers()
     gc.collect()
     gc_was_enabled = gc.isenabled()
     gc.disable()
@@ -173,8 +260,11 @@ def run_cluster_throughput(
     finally:
         if gc_was_enabled:
             gc.enable()
-    events_popped = sum(k.events_popped for k in cluster.nodes.values())
-    return {
+    events_popped = cluster.total_events_popped()
+    worker_count = cluster.worker_count
+    worker_stats = cluster.worker_stats()
+    cluster.close()
+    report = {
         "sim_ns": horizon_ns,
         "wall_s": wall,
         "throughput_sim_ns_per_s": round(horizon_ns / wall) if wall > 0 else 0,
@@ -183,7 +273,13 @@ def run_cluster_throughput(
         "deliveries_suppressed": cluster.deliveries_suppressed,
         "frames_delivered": cluster.bus.frames_delivered,
         "events_popped": events_popped,
+        "workers": worker_count,
     }
+    if worker_stats is not None:
+        report["per_worker_busy_s"] = [
+            round(s["busy_s"], 6) for s in worker_stats
+        ]
+    return report
 
 
 def cluster_signatures(
@@ -191,22 +287,26 @@ def cluster_signatures(
     utilization: float,
     sync: str,
     horizon_ns: int = SIGNATURE_HORIZON_NS,
+    workers: Optional[int] = None,
+    app_load: str = "auto",
 ) -> Dict:
     """Full-record behavior fingerprint of one configuration.
 
     Returns per-node full-trace signatures, the per-node delivery
     timelines, and the bus counters -- everything that must be
-    byte-identical between sync modes.
+    byte-identical between sync modes and across worker counts.
     """
-    cluster, received = build_ring_cluster(nodes, utilization, sync, "full")
+    cluster = build_ring_cluster(
+        nodes, utilization, sync, "full", workers=workers, app_load=app_load
+    )
     cluster.run_until(horizon_ns)
     bus = cluster.bus
-    return {
-        "traces": {
-            name: kernel.trace.signature(include_segments=True)
-            for name, kernel in cluster.nodes.items()
+    snapshot = {
+        "traces": cluster.trace_signatures(include_segments=True),
+        "timelines": {
+            name: [list(entry) for entry in timeline]
+            for name, timeline in cluster.rx_timelines().items()
         },
-        "timelines": {name: list(t) for name, t in received.items()},
         "bus": {
             "frames_delivered": bus.frames_delivered,
             "frames_dropped": bus.frames_dropped,
@@ -214,13 +314,7 @@ def cluster_signatures(
             "bits_carried": bus.bits_carried,
             "total_arbitration_wait_ns": bus.total_arbitration_wait_ns,
         },
-        "interfaces": {
-            name: {
-                "frames_received": iface.frames_received,
-                "frames_filtered": iface.frames_filtered,
-                "frames_crc_dropped": iface.frames_crc_dropped,
-                "rx_overflowed": iface.rx_overflowed,
-            }
-            for name, iface in cluster.interfaces.items()
-        },
+        "interfaces": cluster.interface_stats(),
     }
+    cluster.close()
+    return snapshot

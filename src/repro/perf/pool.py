@@ -1,0 +1,192 @@
+"""Persistent fork-based worker pool with request/response pipes.
+
+:func:`repro.perf.sweeps.parallel_map` fans *independent* sweep points
+over a throwaway ``Pool`` -- fine when every task is a pure function of
+its arguments.  The parallel cluster synchronization needs something
+stronger: each worker must *keep* its shard of kernels alive across
+thousands of barrier rounds, so the pool here is long-lived and
+explicitly addressed.
+
+* Workers are forked (inheriting the parent's object graph at spawn
+  time -- nothing is pickled *into* a worker, only requests and replies
+  cross the pipe), one duplex :class:`multiprocessing.Pipe` per worker.
+* ``handler_factory(index)`` runs *in the child* and returns the
+  request handler, so a worker can finish wiring up its shard (e.g.
+  marking which interfaces it owns) after the fork.
+* Handler exceptions are caught, formatted, and re-raised in the parent
+  as :class:`WorkerError` -- a worker never dies silently mid-protocol.
+* Every worker keeps wall-clock busy counters (requests served, seconds
+  spent inside the handler), fetched with :meth:`WorkerPool.stats` --
+  these feed the per-worker wall times in ``BENCH_cluster.json``.
+
+Where ``fork`` is unavailable the pool cannot exist at all;
+:func:`pool_available` is the gate callers use to fall back to serial
+execution (same degrade-not-require policy as ``parallel_map``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["WorkerPool", "WorkerError", "pool_available"]
+
+#: Sentinel request: shut the worker loop down.
+_STOP = "__stop__"
+
+#: Sentinel request: report the worker's busy counters.
+_STATS = "__stats__"
+
+
+class WorkerError(RuntimeError):
+    """A worker's handler raised (the traceback rides in ``args[0]``)
+    or the worker process died mid-protocol."""
+
+
+def _fork_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # platform without fork
+        return None
+
+
+def pool_available() -> bool:
+    """Whether persistent fork workers exist on this platform."""
+    return _fork_context() is not None
+
+
+def _worker_main(index: int, conn, handler_factory) -> None:
+    """The child's request loop (runs until ``_STOP`` or EOF)."""
+    handler = handler_factory(index)
+    requests = 0
+    busy_s = 0.0
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        if msg == _STOP:
+            break
+        if msg == _STATS:
+            conn.send(("ok", {"index": index, "requests": requests,
+                              "busy_s": busy_s}))
+            continue
+        start = time.perf_counter()
+        try:
+            reply = handler(msg)
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+            continue
+        busy_s += time.perf_counter() - start
+        requests += 1
+        conn.send(("ok", reply))
+    conn.close()
+
+
+class WorkerPool:
+    """``count`` persistent forked workers, one request pipe each.
+
+    The protocol is strictly request/response per worker: the parent
+    may pipeline (send to every worker, then receive from every
+    worker), but never sends a second request down one pipe before
+    reading the first reply.
+    """
+
+    def __init__(self, count: int, handler_factory: Callable[[int], Callable],
+                 name: str = "pool"):
+        if count <= 0:
+            raise ValueError(f"worker count must be positive (got {count})")
+        context = _fork_context()
+        if context is None:
+            raise WorkerError("fork start method unavailable on this platform")
+        self.count = count
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        for index in range(count):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_worker_main,
+                args=(index, child_conn, handler_factory),
+                name=f"{name}-{index}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    def send(self, index: int, msg: Any) -> None:
+        """Post one request to worker ``index`` (reply pending)."""
+        if self._closed:
+            raise WorkerError("pool is closed")
+        self._conns[index].send(msg)
+
+    def recv(self, index: int) -> Any:
+        """Collect worker ``index``'s reply to the pending request."""
+        try:
+            status, payload = self._conns[index].recv()
+        except EOFError:
+            raise WorkerError(f"worker {index} died mid-protocol") from None
+        if status != "ok":
+            raise WorkerError(f"worker {index} failed:\n{payload}")
+        return payload
+
+    def roundtrip(self, messages: Sequence[Any]) -> List[Any]:
+        """One pipelined barrier: send ``messages[i]`` to worker ``i``
+        (``None`` entries are skipped), then collect every reply in
+        worker order."""
+        for index, msg in enumerate(messages):
+            if msg is not None:
+                self.send(index, msg)
+        return [
+            self.recv(index)
+            for index, msg in enumerate(messages)
+            if msg is not None
+        ]
+
+    def broadcast(self, msg: Any) -> List[Any]:
+        """Send the same request to every worker; replies in order."""
+        return self.roundtrip([msg] * self.count)
+
+    def stats(self) -> List[dict]:
+        """Per-worker busy counters (requests served, busy seconds)."""
+        return self.broadcast(_STATS)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(_STOP)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __del__(self):
+        try:
+            self.close(timeout=0.1)
+        except Exception:
+            pass

@@ -1,11 +1,13 @@
-"""Adaptive vs lockstep cluster synchronization: byte-identity + skipping.
+"""Cluster synchronization modes: byte-identity + skipping.
 
-The adaptive conservative synchronization (PR 7) must be a pure
-optimization: for any workload, seed, fault pattern, and chunking of
-``run_until``, the full-record traces, delivery timelines, membership
-transitions, and bus/interface statistics must be byte-identical to
-the lockstep reference -- while actually skipping the quantum loop
-whenever the cluster is provably silent.
+The adaptive conservative synchronization (PR 7) and the parallel
+sharded execution (PR 8) must be pure optimizations: for any workload,
+seed, fault pattern, worker count, and chunking of ``run_until``, the
+full-record traces, delivery timelines, membership transitions, and
+bus/interface statistics must be byte-identical to the lockstep
+reference -- while adaptive actually skips the quantum loop whenever
+the cluster is provably silent, and parallel runs the windows in
+forked worker shards.
 """
 
 import pytest
@@ -18,20 +20,29 @@ from repro.net import Cluster, Fieldbus, HeartbeatMonitor, net_send
 from repro.net.cluster import SYNC_MODES
 from repro.timeunits import ms, us
 
+#: Worker count used for sync="parallel" in these differential tests
+#: (small: correctness is worker-count invariant, forks are not free).
+TEST_WORKERS = 2
+
 
 def zero_kernel():
     return Kernel(EDFScheduler(ZERO_OVERHEAD))
 
 
-def _snapshot(cluster, received):
-    """Everything that must match between sync modes."""
+def _snapshot(cluster):
+    """Everything that must match between sync modes.
+
+    Uses the cluster's location-transparent accessors, so the same
+    snapshot works whether node state lives in this process (serial)
+    or in worker shards (parallel).
+    """
     bus = cluster.bus
     return {
-        "traces": {
-            name: kernel.trace.signature(include_segments=True)
-            for name, kernel in cluster.nodes.items()
+        "traces": cluster.trace_signatures(include_segments=True),
+        "timelines": {
+            name: tuple(timeline)
+            for name, timeline in cluster.rx_timelines().items()
         },
-        "timelines": {name: tuple(rx) for name, rx in received.items()},
         "bus": (
             bus.frames_delivered,
             bus.frames_dropped,
@@ -41,16 +52,7 @@ def _snapshot(cluster, received):
             bus.bits_carried,
             bus.total_arbitration_wait_ns,
         ),
-        "interfaces": {
-            name: (
-                iface.frames_sent,
-                iface.frames_received,
-                iface.frames_filtered,
-                iface.frames_crc_dropped,
-                iface.rx_overflowed,
-            )
-            for name, iface in cluster.interfaces.items()
-        },
+        "interfaces": cluster.interface_stats(),
     }
 
 
@@ -59,7 +61,7 @@ def _traffic_cluster(sync, seed, dependability=False, fault=False, nodes=4):
     import random
 
     rng = random.Random(seed)
-    cluster = Cluster(Fieldbus(1_000_000), sync=sync)
+    cluster = Cluster(Fieldbus(1_000_000), sync=sync, workers=TEST_WORKERS)
     if dependability:
         cluster.enable_dependability(4)
     if fault:
@@ -74,14 +76,15 @@ def _traffic_cluster(sync, seed, dependability=False, fault=False, nodes=4):
             return "ok"
 
         cluster.bus.fault_hook = hook
-    received = {}
     for i in range(nodes):
         kernel = zero_kernel()
         name = f"n{i}"
         # Alternate filtered and promiscuous receivers.
         accept = {0x100 + (i + 1) % nodes} if i % 2 == 0 else None
         iface = cluster.add_node(name, kernel, accept=accept)
-        timeline = received[name] = []
+        # Timelines ride on the interface so they live wherever the
+        # node's kernel runs (worker shards included).
+        iface.rx_timeline = []
         period = rng.choice([ms(3), ms(5), ms(7)])
         kernel.create_thread(
             f"tx{i}",
@@ -93,12 +96,12 @@ def _traffic_cluster(sync, seed, dependability=False, fault=False, nodes=4):
             deadline=period,
         )
 
-        def drain(kern, t, iface=iface, timeline=timeline):
+        def drain(kern, t, iface=iface):
             while True:
                 frame = iface.receive()
                 if frame is None:
                     break
-                timeline.append((kern.now, frame.can_id, frame.sender))
+                iface.rx_timeline.append((kern.now, frame.can_id, frame.sender))
 
         kernel.create_thread(
             f"rx{i}",
@@ -106,7 +109,7 @@ def _traffic_cluster(sync, seed, dependability=False, fault=False, nodes=4):
             period=ms(2),
             deadline=ms(2),
         )
-    return cluster, received
+    return cluster
 
 
 class TestByteIdentity:
@@ -115,25 +118,27 @@ class TestByteIdentity:
         (False, False), (False, True), (True, True),
     ])
     def test_full_traces_and_timelines_identical(self, seed, dependability, fault):
-        """Multi-seed property: adaptive == lockstep byte for byte,
-        even with faults on the wire, error confinement armed, and the
-        horizon reached in uneven chunks."""
+        """Multi-seed property: adaptive == parallel == lockstep byte
+        for byte, even with faults on the wire, error confinement
+        armed, and the horizon reached in uneven chunks."""
         snapshots = {}
         for sync in SYNC_MODES:
-            cluster, received = _traffic_cluster(
+            cluster = _traffic_cluster(
                 sync, seed, dependability=dependability, fault=fault
             )
             for t in (ms(13), ms(31), ms(40)):
                 cluster.run_until(t)
-            snapshots[sync] = _snapshot(cluster, received)
+            snapshots[sync] = _snapshot(cluster)
+            cluster.close()
         assert snapshots["adaptive"] == snapshots["lockstep"]
+        assert snapshots["parallel"] == snapshots["lockstep"]
 
     def test_membership_timeline_identical(self):
         """Heartbeat membership (crash + restart rejoin) transitions at
         identical instants under both sync modes."""
         results = {}
         for sync in SYNC_MODES:
-            cluster = Cluster(sync=sync)
+            cluster = Cluster(sync=sync, workers=TEST_WORKERS)
             for i in range(3):
                 cluster.add_node(f"n{i}", zero_kernel())
             monitor = HeartbeatMonitor(cluster, period=ms(10))
@@ -149,12 +154,11 @@ class TestByteIdentity:
             results[sync] = {
                 "events": list(monitor.events),
                 "views": {n: monitor.view(n) for n in cluster.nodes},
-                "traces": {
-                    n: k.trace.signature(include_segments=True)
-                    for n, k in cluster.nodes.items()
-                },
+                "traces": cluster.trace_signatures(include_segments=True),
             }
+            cluster.close()
         assert results["adaptive"] == results["lockstep"]
+        assert results["parallel"] == results["lockstep"]
         assert results["adaptive"]["events"]  # the crash was observed
 
 
@@ -202,50 +206,53 @@ class TestAdaptiveSkipping:
 
 class TestDeliveryPrefilter:
     def _ring(self, sync):
-        cluster = Cluster(Fieldbus(1_000_000), sync=sync)
-        received = {}
+        cluster = Cluster(Fieldbus(1_000_000), sync=sync, workers=TEST_WORKERS)
         for i in range(4):
             kernel = zero_kernel()
             iface = cluster.add_node(
                 f"n{i}", kernel, accept={0x100 + (i - 1) % 4}
             )
-            timeline = received[f"n{i}"] = []
+            iface.rx_timeline = []
             kernel.create_thread(
                 f"tx{i}",
                 Program([net_send(iface, can_id=0x100 + i, size=4)]),
                 period=ms(5), deadline=ms(5),
             )
 
-            def drain(kern, t, iface=iface, timeline=timeline):
+            def drain(kern, t, iface=iface):
                 while True:
                     frame = iface.receive()
                     if frame is None:
                         break
-                    timeline.append((kern.now, frame.can_id))
+                    iface.rx_timeline.append((kern.now, frame.can_id))
 
             kernel.create_thread(
                 f"rx{i}",
                 Program([Wait(iface.rx_event_name), Call(drain)]),
                 period=ms(5), deadline=ms(5),
             )
-        return cluster, received
+        return cluster
 
     def test_prefilter_keeps_deliver_stats_unchanged(self):
-        """The adaptive mode suppresses filter-rejected delivery events
-        at schedule time; every ``NetInterface.deliver`` statistic must
-        still match the reference that delivers to everyone."""
+        """The adaptive and parallel modes suppress filter-rejected
+        delivery events at schedule time; every ``NetInterface.deliver``
+        statistic must still match the reference that delivers to
+        everyone."""
         snaps = {}
-        clusters = {}
+        suppressed = {}
         for sync in SYNC_MODES:
-            cluster, received = self._ring(sync)
+            cluster = self._ring(sync)
             cluster.run_until(ms(25))
-            snaps[sync] = _snapshot(cluster, received)
-            clusters[sync] = cluster
+            snaps[sync] = _snapshot(cluster)
+            suppressed[sync] = cluster.deliveries_suppressed
+            cluster.close()
         assert snaps["adaptive"] == snaps["lockstep"]
+        assert snaps["parallel"] == snaps["lockstep"]
         # The ring has 2 disinterested receivers per frame; adaptive
-        # never scheduled those events, lockstep did.
-        assert clusters["adaptive"].deliveries_suppressed > 0
-        assert clusters["lockstep"].deliveries_suppressed == 0
+        # and parallel never scheduled those events, lockstep did.
+        assert suppressed["adaptive"] > 0
+        assert suppressed["parallel"] > 0
+        assert suppressed["lockstep"] == 0
 
     def test_in_flight_frame_stats_are_not_counted_early(self):
         """A frame still on the wire at t_end must not have bumped any
@@ -253,11 +260,13 @@ class TestDeliveryPrefilter:
         deliver event has not fired either)."""
         observed = {}
         for sync in SYNC_MODES:
-            cluster = Cluster(Fieldbus(1_000_000), sync=sync)
+            cluster = Cluster(
+                Fieldbus(1_000_000), sync=sync, workers=TEST_WORKERS
+            )
             tx = zero_kernel()
             rx = zero_kernel()
             tx_iface = cluster.add_node("tx", tx)
-            rx_iface = cluster.add_node("rx", rx, accept={0x999})
+            cluster.add_node("rx", rx, accept={0x999})
             tx.create_thread(
                 "sender",
                 Program([net_send(tx_iface, can_id=0x11, size=8)]),
@@ -266,10 +275,14 @@ class TestDeliveryPrefilter:
             # An 8-byte frame takes 111 us on the wire: at t = 50 us it
             # has started but not completed.
             cluster.run_until(us(50))
-            mid = rx_iface.frames_filtered
+            mid = cluster.interface_stats()["rx"]["frames_filtered"]
             cluster.run_until(ms(1))
-            observed[sync] = (mid, rx_iface.frames_filtered)
+            observed[sync] = (
+                mid, cluster.interface_stats()["rx"]["frames_filtered"]
+            )
+            cluster.close()
         assert observed["adaptive"] == observed["lockstep"]
+        assert observed["parallel"] == observed["lockstep"]
         assert observed["adaptive"] == (0, 1)
 
 

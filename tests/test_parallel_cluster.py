@@ -1,0 +1,420 @@
+"""Parallel cluster execution: pool mechanics + worker-count invariance.
+
+``tests/test_cluster_sync.py`` proves the three sync modes byte-agree
+at one worker count; this file covers the parallel machinery itself:
+the :class:`~repro.perf.pool.WorkerPool` protocol, invariance of every
+observable across worker counts (1/2/4, including dependability,
+fault hooks, membership, and replicated state channels), the
+``REPRO_CLUSTER_WORKERS=0`` / no-fork serial fallback, the lifecycle
+guards, the ``run_until`` same-instant no-op, and the
+location-transparent query layer.
+"""
+
+import random
+
+import pytest
+
+from repro.core.edf import EDFScheduler
+from repro.core.overhead import ZERO_OVERHEAD
+from repro.kernel.kernel import Kernel
+from repro.kernel.program import Call, Compute, Program, Wait
+from repro.net import (
+    Cluster,
+    Fieldbus,
+    GlobalStateChannel,
+    HeartbeatMonitor,
+    net_send,
+)
+from repro.net.cluster import (
+    CLUSTER_WORKERS_ENV,
+    resolve_cluster_workers,
+)
+from repro.net.depend import net_registry
+from repro.obs.metrics import MetricsRegistry
+from repro.perf.pool import WorkerError, WorkerPool, pool_available
+from repro.timeunits import ms, us
+
+needs_fork = pytest.mark.skipif(
+    not pool_available(), reason="fork start method unavailable"
+)
+
+
+def zero_kernel():
+    return Kernel(EDFScheduler(ZERO_OVERHEAD))
+
+
+# ----------------------------------------------------------------------
+# WorkerPool handler factories (module-level: forked children re-resolve
+# them by reference when the handler closure pickles its way around).
+# ----------------------------------------------------------------------
+def _echo_factory(index):
+    def handler(msg):
+        return (index, msg)
+
+    return handler
+
+
+def _fragile_factory(index):
+    def handler(msg):
+        if msg == "explode":
+            raise ValueError("boom in worker")
+        return msg * 2
+
+    return handler
+
+
+# Module-level node query (picklable by reference for node_query).
+def _query_now(cluster, node):
+    return cluster.nodes[node].now
+
+
+@needs_fork
+class TestWorkerPool:
+    def test_echo_and_addressing(self):
+        with WorkerPool(3, _echo_factory) as pool:
+            assert pool.broadcast("hi") == [(0, "hi"), (1, "hi"), (2, "hi")]
+            replies = pool.roundtrip(["a", None, "c"])
+            assert replies == [(0, "a"), (2, "c")]
+            pool.send(1, "direct")
+            assert pool.recv(1) == (1, "direct")
+
+    def test_handler_error_propagates_and_pool_survives(self):
+        with WorkerPool(2, _fragile_factory) as pool:
+            with pytest.raises(WorkerError, match="boom in worker"):
+                pool.send(0, "explode")
+                pool.recv(0)
+            # The worker caught the exception; the pipe still works.
+            pool.send(0, 21)
+            assert pool.recv(0) == 42
+
+    def test_stats_count_requests(self):
+        with WorkerPool(2, _echo_factory) as pool:
+            pool.broadcast("x")
+            pool.broadcast("y")
+            stats = pool.stats()
+            assert [s["index"] for s in stats] == [0, 1]
+            assert all(s["requests"] == 2 for s in stats)
+            assert all(s["busy_s"] >= 0.0 for s in stats)
+
+    def test_close_is_idempotent_and_blocks_sends(self):
+        pool = WorkerPool(1, _echo_factory)
+        pool.close()
+        pool.close()
+        with pytest.raises(WorkerError, match="closed"):
+            pool.send(0, "late")
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            WorkerPool(0, _echo_factory)
+
+
+# ----------------------------------------------------------------------
+# worker-count invariance
+# ----------------------------------------------------------------------
+def _traffic_cluster(sync, seed, workers=None, dependability=False,
+                     fault=False, nodes=4):
+    """Mixed periodic senders + drain drivers, seed-varied periods."""
+    rng = random.Random(seed)
+    cluster = Cluster(Fieldbus(1_000_000), sync=sync, workers=workers)
+    if dependability:
+        cluster.enable_dependability(4)
+    if fault:
+        frng = random.Random(seed + 999)
+
+        def hook(start, frame):
+            r = frng.random()
+            if r < 0.08:
+                return "drop"
+            if r < 0.16:
+                return "corrupt"
+            return "ok"
+
+        cluster.bus.fault_hook = hook
+    for i in range(nodes):
+        kernel = zero_kernel()
+        accept = {0x100 + (i + 1) % nodes} if i % 2 == 0 else None
+        iface = cluster.add_node(f"n{i}", kernel, accept=accept)
+        iface.rx_timeline = []
+        period = rng.choice([ms(3), ms(5), ms(7)])
+        kernel.create_thread(
+            f"tx{i}",
+            Program([
+                Compute(us(10)),
+                net_send(iface, can_id=0x100 + i, size=8),
+            ]),
+            period=period,
+            deadline=period,
+        )
+
+        def drain(kern, t, iface=iface):
+            while True:
+                frame = iface.receive()
+                if frame is None:
+                    break
+                iface.rx_timeline.append((kern.now, frame.can_id, frame.sender))
+
+        kernel.create_thread(
+            f"rx{i}",
+            Program([Wait(iface.rx_event_name), Call(drain)]),
+            period=ms(2),
+            deadline=ms(2),
+        )
+    return cluster
+
+
+def _snapshot(cluster):
+    bus = cluster.bus
+    return {
+        "traces": cluster.trace_signatures(include_segments=True),
+        "timelines": {
+            name: tuple(timeline)
+            for name, timeline in cluster.rx_timelines().items()
+        },
+        "bus": (
+            bus.frames_delivered,
+            bus.frames_dropped,
+            bus.frames_corrupted,
+            bus.frames_retransmitted,
+            bus.error_frames,
+            bus.bits_carried,
+            bus.total_arbitration_wait_ns,
+        ),
+        "interfaces": cluster.interface_stats(),
+        "events_popped": cluster.total_events_popped(),
+    }
+
+
+@needs_fork
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("seed", [7, 8])
+    @pytest.mark.parametrize("dependability,fault", [
+        (False, False), (True, True),
+    ])
+    def test_traffic_identical_for_any_worker_count(
+        self, seed, dependability, fault
+    ):
+        reference = _traffic_cluster(
+            "adaptive", seed, dependability=dependability, fault=fault
+        )
+        reference.run_until(ms(40))
+        expected = _snapshot(reference)
+        for workers in (1, 2, 4):
+            cluster = _traffic_cluster(
+                "parallel", seed, workers=workers,
+                dependability=dependability, fault=fault,
+            )
+            cluster.run_until(ms(40))
+            # 4 nodes cap the pool at 4; each count must reproduce the
+            # serial bytes exactly.
+            assert cluster.worker_count == min(workers, 4)
+            assert _snapshot(cluster) == expected, f"workers={workers}"
+            cluster.close()
+
+    def test_chunked_parallel_run_matches_one_shot_serial(self):
+        reference = _traffic_cluster("adaptive", 3)
+        reference.run_until(ms(40))
+        expected = _snapshot(reference)
+        cluster = _traffic_cluster("parallel", 3, workers=2)
+        # Chunk edges deliberately land mid-frame (us(50) is inside the
+        # first 8-byte frame's wire time) and off the window lattice.
+        for t in (us(50), ms(7), ms(13), ms(40)):
+            cluster.run_until(t)
+        assert _snapshot(cluster) == expected
+        cluster.close()
+
+    def _observed_cluster(self, sync, workers=None):
+        """Heartbeat membership + a sequenced replicated channel, with a
+        mid-run crash and rejoin."""
+        cluster = Cluster(sync=sync, workers=workers)
+        for i in range(3):
+            cluster.add_node(f"n{i}", zero_kernel())
+        monitor = HeartbeatMonitor(cluster, period=ms(10))
+        channel = GlobalStateChannel(
+            cluster, "temp", can_id=0x20, writer_node="n0",
+            driver_period=ms(10), sequenced=True,
+        )
+
+        def pub(kern, thread):
+            channel.publish(kern, thread, kern.now)
+
+        cluster.nodes["n0"].create_thread(
+            "pub", Program([Call(pub)]), period=ms(10), deadline=ms(10),
+        )
+        victim = cluster.nodes["n2"]
+        victim.set_restart_policy("hb-tx:n2", max_restarts=1, backoff_ns=ms(30))
+        victim.schedule_event(
+            ms(35), lambda: victim.crash_thread("hb-tx:n2", "test"),
+            label="silence",
+        )
+        return cluster, monitor, channel
+
+    def test_membership_and_replicas_invariant(self):
+        results = {}
+        for key, sync, workers in (
+            ("serial", "adaptive", None),
+            ("w1", "parallel", 1),
+            ("w2", "parallel", 2),
+            ("w3", "parallel", 3),
+        ):
+            cluster, monitor, channel = self._observed_cluster(sync, workers)
+            cluster.run_until(ms(160))
+            results[key] = {
+                "events": list(monitor.events),
+                "changes": monitor.changes,
+                "views": {n: monitor.view(n) for n in cluster.nodes},
+                "statuses": channel.statuses(),
+                "replicas": {
+                    n: channel.read_replica(n) for n in cluster.nodes
+                },
+                "writer": channel.writer_stats(),
+                "metrics": net_registry(
+                    cluster, [channel], monitor
+                ).to_json(),
+                "traces": cluster.trace_signatures(include_segments=True),
+            }
+            cluster.close()
+        assert results["serial"]["events"], "crash was never observed"
+        assert results["serial"]["statuses"]["n1"].updates > 5
+        for key in ("w1", "w2", "w3"):
+            assert results[key] == results["serial"], key
+
+
+# ----------------------------------------------------------------------
+# fallback + worker resolution
+# ----------------------------------------------------------------------
+class TestFallback:
+    def test_env_zero_runs_serial_adaptive(self, monkeypatch):
+        monkeypatch.setenv(CLUSTER_WORKERS_ENV, "0")
+        reference = _traffic_cluster("adaptive", 5)
+        reference.run_until(ms(30))
+        cluster = _traffic_cluster("parallel", 5)
+        cluster.run_until(ms(30))
+        assert not cluster.parallel_active
+        assert cluster.worker_count == 0
+        assert _snapshot(cluster) == _snapshot(reference)
+        # Fallback clusters stay serial: close() must not brick them.
+        cluster.close()
+        cluster.run_until(ms(31))
+
+    def test_constructor_zero_runs_serial(self):
+        cluster = _traffic_cluster("parallel", 5, workers=0)
+        cluster.run_until(ms(10))
+        assert not cluster.parallel_active
+
+    def test_resolution_order(self, monkeypatch):
+        monkeypatch.delenv(CLUSTER_WORKERS_ENV, raising=False)
+        assert resolve_cluster_workers(2) == 2
+        assert resolve_cluster_workers(None) == 4  # the default
+        monkeypatch.setenv(CLUSTER_WORKERS_ENV, "3")
+        assert resolve_cluster_workers(None) == 3
+        assert resolve_cluster_workers(1) == 1  # explicit beats env
+        with pytest.raises(ValueError, match="non-negative"):
+            resolve_cluster_workers(-1)
+
+    @needs_fork
+    def test_pool_clamped_to_node_count(self):
+        cluster = _traffic_cluster("parallel", 5, workers=8, nodes=3)
+        cluster.run_until(ms(5))
+        assert cluster.worker_count == 3
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
+# lifecycle guards + the same-instant no-op
+# ----------------------------------------------------------------------
+@needs_fork
+class TestLifecycle:
+    def test_post_fork_mutations_rejected(self):
+        cluster = _traffic_cluster("parallel", 1, workers=2)
+        assert cluster.start_workers()
+        with pytest.raises(RuntimeError, match="add nodes"):
+            cluster.add_node("late", zero_kernel())
+        with pytest.raises(RuntimeError, match="dependability"):
+            cluster.enable_dependability()
+        with pytest.raises(RuntimeError, match="shared"):
+            cluster.register_shared(object())
+        cluster.close()
+
+    def test_closed_cluster_rejects_runs_and_queries(self):
+        cluster = _traffic_cluster("parallel", 1, workers=2)
+        cluster.run_until(ms(5))
+        cluster.close()
+        cluster.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.run_until(ms(10))
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.trace_signatures()
+        with pytest.raises(RuntimeError, match="closed"):
+            cluster.node_query("n0", _query_now)
+
+    def test_rerun_to_same_instant_is_a_noop(self):
+        for sync, workers in (("adaptive", None), ("parallel", 2)):
+            cluster = _traffic_cluster(sync, 2, workers=workers)
+            cluster.run_until(ms(15))
+            rounds = cluster.sync_rounds
+            before = _snapshot(cluster)
+            cluster.run_until(ms(15))
+            assert cluster.sync_rounds == rounds, sync
+            assert _snapshot(cluster) == before, sync
+            cluster.close()
+
+    def test_noop_run_does_not_spawn_workers(self):
+        cluster = _traffic_cluster("parallel", 2, workers=2)
+        cluster.run_until(0)
+        assert not cluster.parallel_active
+        assert cluster.worker_count == 0
+
+
+# ----------------------------------------------------------------------
+# location-transparent queries
+# ----------------------------------------------------------------------
+@needs_fork
+class TestQueries:
+    def test_node_query_and_map_nodes_reach_worker_state(self):
+        serial = _traffic_cluster("adaptive", 4)
+        serial.run_until(ms(20))
+        cluster = _traffic_cluster("parallel", 4, workers=2)
+        cluster.run_until(ms(20))
+        assert cluster.parallel_active
+        assert cluster.node_query("n1", _query_now) == ms(20)
+        assert cluster.map_nodes(_query_now) == serial.map_nodes(_query_now)
+        assert (
+            cluster.total_events_popped() == serial.total_events_popped()
+        )
+        with pytest.raises(ValueError, match="unknown node"):
+            cluster.node_query("ghost", _query_now)
+        cluster.close()
+
+    def test_worker_stats_report_barrier_traffic(self):
+        cluster = _traffic_cluster("parallel", 4, workers=2)
+        assert cluster.worker_stats() is None or True  # pool not started yet
+        cluster.run_until(ms(20))
+        stats = cluster.worker_stats()
+        assert len(stats) == 2
+        # Every worker served at least the initial sync + one window.
+        assert all(s["requests"] >= 2 for s in stats)
+        cluster.close()
+
+
+# ----------------------------------------------------------------------
+# cross-process metrics folding
+# ----------------------------------------------------------------------
+class TestMetricsMerged:
+    def test_merged_folds_in_order(self):
+        shards = []
+        for base in (1, 10):
+            reg = MetricsRegistry()
+            reg.counter("jobs_total", node=f"n{base}").inc(base)
+            reg.counter("shared_total").inc(base)
+            reg.gauge("depth").set(base)
+            reg.histogram("lat", buckets=(10, 20)).observe(base)
+            shards.append(reg)
+        merged = MetricsRegistry.merged(shards)
+        out = merged.to_dict()
+        assert out["shared_total"]["series"][0]["value"] == 11
+        assert out["depth"]["series"][0]["value"] == 10
+        assert out["depth"]["series"][0]["max"] == 10
+        assert out["lat"]["series"][0]["count"] == 2
+        # Same shards, same order -> byte-identical export.
+        again = MetricsRegistry.merged(shards)
+        assert again.to_json() == merged.to_json()
