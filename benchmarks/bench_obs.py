@@ -17,6 +17,12 @@ Enforces the observability layer's two contracts on the canonical
 With ``--obs`` (or ``REPRO_BENCH_OBS``) set, the run also dumps the
 metrics/trace artifacts via :func:`common.dump_obs_artifacts`.
 ``--smoke`` shrinks the repetitions for CI.
+
+``--cluster`` switches to the *cluster* instrumentation bound: arming
+cluster-wide tracing (bus event log, per-interface rx logs, and
+counters-mode collectors on every node) on the canonical ring workload
+must cost < 10% of throughput versus an uninstrumented run, measured
+with the same interleaved best-of discipline.
 """
 
 import json
@@ -55,6 +61,88 @@ def measure_overhead(repeats: int):
                 best[obs] = rate
     base, counters = best[None], best["counters"]
     return base, counters, (base - counters) / base
+
+
+#: ``--cluster`` ring configuration (matches the CI smoke budget).
+CLUSTER_NODES = 4
+CLUSTER_UTILIZATION = 0.5
+
+
+def _cluster_rate(instrument: bool, horizon_ns: int) -> float:
+    """One timed ring run; sim-ns per wall-second.
+
+    ``instrument=True`` arms the full cluster observability path --
+    bus event log, per-interface rx logs, and a counters-mode
+    collector per node -- exactly what ``reproduce cluster-trace``
+    enables (full-mode collectors are the known-expensive debugging
+    tier, same as the kernel-side bound).
+    """
+    import gc
+    import time
+
+    from repro.perf.clusterload import build_ring_cluster
+
+    cluster = build_ring_cluster(
+        CLUSTER_NODES, CLUSTER_UTILIZATION, "adaptive", record="jobs-only"
+    )
+    if instrument:
+        from repro.obs.cluster_trace import enable_cluster_tracing
+
+        enable_cluster_tracing(cluster, obs="counters")
+    gc.collect()
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        cluster.run_until(horizon_ns)
+        wall = time.perf_counter() - start
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    cluster.close()
+    return horizon_ns / wall if wall > 0 else 0.0
+
+
+def measure_cluster_overhead(repeats: int, horizon_ns: int):
+    """Best-of-``repeats`` ring throughput with and without tracing.
+
+    Interleaved pairs, like :func:`measure_overhead`.  Returns
+    ``(base_ns_per_s, traced_ns_per_s, overhead_fraction)``.
+    """
+    best = {False: 0.0, True: 0.0}
+    for _ in range(max(1, repeats)):
+        for instrument in (False, True):
+            rate = _cluster_rate(instrument, horizon_ns)
+            if rate > best[instrument]:
+                best[instrument] = rate
+    base, traced = best[False], best[True]
+    return base, traced, (base - traced) / base
+
+
+def run_cluster_bound(repeats: int, horizon_ns: int) -> int:
+    """The ``--cluster`` entry: enforce the cluster tracing bound."""
+    base, traced, overhead = measure_cluster_overhead(repeats, horizon_ns)
+    lines = [
+        f"Cluster tracing overhead (best of {repeats}, "
+        f"{CLUSTER_NODES}-node ring, u={CLUSTER_UTILIZATION:g}):",
+        format_table(
+            ["config", "sim ns / wall s"],
+            [
+                ["tracing off", f"{base / 1e9:.2f}e9"],
+                ["bus log + rx logs + counters", f"{traced / 1e9:.2f}e9"],
+            ],
+        ),
+        f"cluster tracing overhead: {100 * overhead:+.1f}% "
+        f"(bound: < {100 * MAX_OVERHEAD:.0f}%)",
+    ]
+    publish("obs_cluster_overhead", "\n".join(lines))
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAILED: cluster tracing overhead {100 * overhead:.1f}% "
+            f">= {100 * MAX_OVERHEAD:.0f}% bound"
+        )
+        return 1
+    return 0
 
 
 def check_signatures():
@@ -106,8 +194,20 @@ def main(argv=None) -> int:
         "--repeats", type=int, default=None,
         help="throughput repetitions per side (default 10, smoke 6)",
     )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="enforce the cluster tracing overhead bound instead",
+    )
     args = apply_bench_args(parser.parse_args(argv))
     repeats = args.repeats or (6 if args.smoke else 10)
+
+    if args.cluster:
+        from repro.timeunits import ms
+
+        cluster_repeats = args.repeats or (3 if args.smoke else 5)
+        return run_cluster_bound(
+            cluster_repeats, ms(100 if args.smoke else 300)
+        )
 
     base, counters, overhead = measure_overhead(repeats)
     sig_rows, mismatches = check_signatures()

@@ -146,6 +146,30 @@ def _query_deadline_violations(cluster: "Cluster", node: str) -> int:
     return len(kernel.trace.deadline_violations(kernel.now))
 
 
+def _query_trace(cluster: "Cluster", node: str):
+    # The Trace is plain data (segments/jobs/events), so shipping it
+    # across the worker pipe is a straight pickle.
+    return cluster.nodes[node].trace
+
+
+def _query_collector(cluster: "Cluster", node: str):
+    # ObsCollector.__getstate__ drops the kernel reference, so the
+    # parent receives the observed records, not live kernel state.
+    return cluster.nodes[node].obs
+
+
+def _query_rx_log(cluster: "Cluster", node: str):
+    log = cluster.interfaces[node].rx_log
+    return list(log) if log is not None else None
+
+
+def _query_node_registry(cluster: "Cluster", node: str):
+    # Built where the kernel lives, so trace-derived completion stats
+    # are present whether the node runs in the parent or in a worker.
+    obs = cluster.nodes[node].obs
+    return obs.as_registry() if obs is not None else None
+
+
 class Cluster:
     """A set of kernels joined by one fieldbus.
 
@@ -898,6 +922,28 @@ class Cluster:
         """Per-node ``rx_timeline`` lists (for workloads that attach
         received-frame timelines to their interfaces)."""
         return self.map_nodes(_query_rx_timeline)
+
+    def node_traces(self) -> Dict[str, Any]:
+        """Per-node :class:`~repro.sim.trace.Trace` snapshots (copies
+        when the node lives in a worker, the live object while serial)."""
+        return self.map_nodes(_query_trace)
+
+    def node_collectors(self) -> Dict[str, Any]:
+        """Per-node attached :class:`~repro.obs.collector.ObsCollector`
+        snapshots (``None`` for nodes without one).  Snapshots shipped
+        from workers have no kernel attached -- use
+        :meth:`node_registries` for metrics, which are built in place."""
+        return self.map_nodes(_query_collector)
+
+    def rx_logs(self) -> Dict[str, Optional[list]]:
+        """Per-node accepted-delivery logs (``NetInterface.rx_log``;
+        ``None`` for interfaces that never enabled it)."""
+        return self.map_nodes(_query_rx_log)
+
+    def node_registries(self) -> Dict[str, Any]:
+        """Per-node metrics registries, built where each kernel lives
+        (``None`` for nodes without a collector)."""
+        return self.map_nodes(_query_node_registry)
 
     def total_events_popped(self) -> int:
         """Kernel events popped across every node."""

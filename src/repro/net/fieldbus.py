@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from heapq import heappop, heappush
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
 from repro.net.errorstate import (
     BUS_OFF,
@@ -40,7 +40,7 @@ from repro.net.errorstate import (
 )
 from repro.net.frame import ERROR_FRAME_BITS, Frame, frame_bits
 
-__all__ = ["Fieldbus", "TransmitRequest", "Delivery", "VERDICTS"]
+__all__ = ["Fieldbus", "TransmitRequest", "Delivery", "BusEvent", "VERDICTS"]
 
 NS_PER_S = 1_000_000_000
 
@@ -57,6 +57,17 @@ class TransmitRequest:
     sequence: int
     #: Retransmission attempts already consumed (0 = first try).
     attempts: int = 0
+    #: The sender's original transmit stamp.  ``time`` moves on
+    #: retransmission / bus-off deferral; ``origin`` does not, so
+    #: latency accounting can always reach back to the application's
+    #: send instant.  ``-1`` means "same as time" (the default for
+    #: requests built directly).
+    origin: int = -1
+
+    @property
+    def origin_time(self) -> int:
+        """The original send instant (``origin``, or ``time``)."""
+        return self.origin if self.origin >= 0 else self.time
 
 
 @dataclass(frozen=True)
@@ -65,6 +76,40 @@ class Delivery:
 
     time: int
     frame: Frame
+
+
+class BusEvent(NamedTuple):
+    """One entry of the bus activity log (``Fieldbus.enable_trace``).
+
+    ``kind``:
+
+    * ``"tx"`` -- a transmission occupied the wire ``[start, end)``
+      (``verdict`` says how it ended; ``attempts > 0`` marks a
+      retransmission attempt);
+    * ``"error-frame"`` -- an error flag + delimiter occupied the wire
+      ``[start, end)`` after a failed transmission;
+    * ``"retransmit"`` -- the failed frame re-entered arbitration,
+      becoming available at ``start`` (``attempts`` = the retry count
+      just consumed);
+    * ``"retransmit-exhausted"`` -- the retry bound was hit and the
+      frame was abandoned at ``start``;
+    * ``"bus-off-defer"`` -- the sender was bus-off; its traffic was
+      deferred to the recovery instant ``end``.
+
+    ``queued`` is the sender's original transmit stamp (the request's
+    availability time for the *current* attempt), so end-to-end
+    latency chains start from the application's send instant.
+    """
+
+    kind: str
+    start: int
+    end: int
+    can_id: int
+    sender: Optional[str]
+    flow: Optional[int]
+    attempts: int
+    verdict: str
+    queued: int
 
 
 class Fieldbus:
@@ -94,6 +139,11 @@ class Fieldbus:
         #: Per-node error state machines; ``None`` until
         #: :meth:`enable_dependability` arms the layer.
         self.error_states: Optional[Dict[str, CanErrorState]] = None
+        #: Bus activity log (``None`` = disabled).  Armed by
+        #: :meth:`enable_trace`; consumed post-hoc by the cluster
+        #: trace exporter.  Appending to it never influences
+        #: arbitration, so traces stay byte-identical with the log on.
+        self.bus_log: Optional[List[BusEvent]] = None
         # statistics
         self.frames_delivered = 0
         self.frames_dropped = 0
@@ -141,6 +191,23 @@ class Fieldbus:
     def dependability_enabled(self) -> bool:
         return self.error_states is not None
 
+    # ------------------------------------------------------------------
+    # activity trace
+    # ------------------------------------------------------------------
+    def enable_trace(self) -> "Fieldbus":
+        """Arm the bus activity log (see :class:`BusEvent`).
+
+        Purely observational: the log records what arbitration decided
+        but never feeds back into it.  Returns the bus for chaining.
+        """
+        if self.bus_log is None:
+            self.bus_log = []
+        return self
+
+    def _log(self, event: BusEvent) -> None:
+        if self.bus_log is not None:
+            self.bus_log.append(event)
+
     def error_state(self, node: str) -> CanErrorState:
         """Get or create the error state machine of ``node``.
 
@@ -160,9 +227,19 @@ class Fieldbus:
     # transmit queue
     # ------------------------------------------------------------------
     def queue(self, time: int, frame: Frame) -> None:
-        """Register a transmit request stamped with the sender's time."""
+        """Register a transmit request stamped with the sender's time.
+
+        Stamps the frame with a stable flow id (its arbitration
+        sequence number) unless the sender already assigned one.  The
+        cluster merges transmissions into the bus in deterministic
+        ``(time, node_index, seq)`` order in every sync mode, so flow
+        ids are identical across lockstep/adaptive/parallel and any
+        worker count.
+        """
         self._sequence += 1
-        request = TransmitRequest(time, frame, self._sequence)
+        if frame.flow is None:
+            frame = replace(frame, flow=self._sequence)
+        request = TransmitRequest(time, frame, self._sequence, origin=time)
         heappush(self._future, (time, self._sequence, request))
 
     @property
@@ -236,6 +313,17 @@ class Fieldbus:
                         future,
                         (deferred.time, deferred.sequence, deferred),
                     )
+                    self._log(BusEvent(
+                        "bus-off-defer",
+                        start,
+                        deferred.time,
+                        winner.frame.can_id,
+                        winner.frame.sender,
+                        winner.frame.flow,
+                        winner.attempts,
+                        "deferred",
+                        winner.origin_time,
+                    ))
                     continue
             duration = self.frame_time_ns(winner.frame.size)
             completion = start + duration
@@ -249,6 +337,17 @@ class Fieldbus:
                     f"fault_hook returned {verdict!r}; expected one of "
                     f"{VERDICTS}"
                 )
+            self._log(BusEvent(
+                "tx",
+                start,
+                completion,
+                frame.can_id,
+                frame.sender,
+                frame.flow,
+                winner.attempts,
+                verdict,
+                winner.origin_time,
+            ))
             if verdict == "drop":
                 # The frame occupied the wire but no node hears it.
                 self.frames_dropped += 1
@@ -276,17 +375,40 @@ class Fieldbus:
         sender_state: Optional[CanErrorState],
     ) -> None:
         """Account a failed transmission: error frame, TEC, retry."""
+        frame = request.frame
         if self.error_states is not None:
             # Signalling the error occupies the wire too.
             self.error_frames += 1
             self.bits_carried += ERROR_FRAME_BITS
             self.busy_until = completion + self.error_frame_time_ns
+            self._log(BusEvent(
+                "error-frame",
+                completion,
+                self.busy_until,
+                frame.can_id,
+                frame.sender,
+                frame.flow,
+                request.attempts,
+                "error",
+                request.origin_time,
+            ))
         if sender_state is not None:
             sender_state.on_tx_error(completion)
         if self.max_retransmits <= 0:
             return
         if request.attempts >= self.max_retransmits:
             self.retransmits_exhausted += 1
+            self._log(BusEvent(
+                "retransmit-exhausted",
+                self.busy_until,
+                self.busy_until,
+                frame.can_id,
+                frame.sender,
+                frame.flow,
+                request.attempts,
+                "abandoned",
+                request.origin_time,
+            ))
             return
         retry = self.busy_until
         if sender_state is not None and sender_state.state == ERROR_PASSIVE:
@@ -303,6 +425,17 @@ class Fieldbus:
             attempts=request.attempts + 1,
         )
         heappush(self._future, (retry, retransmit.sequence, retransmit))
+        self._log(BusEvent(
+            "retransmit",
+            retry,
+            retry,
+            frame.can_id,
+            frame.sender,
+            frame.flow,
+            retransmit.attempts,
+            "retry",
+            request.origin_time,
+        ))
 
     def utilization(self, elapsed_ns: int) -> float:
         """Fraction of ``elapsed_ns`` the bus spent carrying bits."""

@@ -57,6 +57,16 @@ class Frame:
     #: Set by fault injection: the frame arrives with a failing CRC and
     #: every receiving interface discards it.
     corrupted: bool = False
+    #: Stable per-frame flow identifier, stamped by
+    #: :meth:`~repro.net.fieldbus.Fieldbus.queue` from the bus's
+    #: arbitration sequence counter (assigned at the cluster's barrier
+    #: merge, so it is identical across sync modes and worker counts).
+    #: Retransmissions keep the original flow id; the cluster trace
+    #: exporter uses it to bind a transmit slice to its receive-side
+    #: delivery events.  Excluded from equality/hash: two frames with
+    #: the same wire content stay equal regardless of when they were
+    #: queued.
+    flow: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.can_id < 0:

@@ -84,6 +84,16 @@ class NetInterface:
         # parent (which holds the authoritative state machines) rather
         # than applied to the forked local copy.
         self._log_rx_state = False
+        #: Opt-in receive log (``None`` = disabled): one
+        #: ``(time, flow, can_id, sender)`` tuple per *accepted*
+        #: delivery, i.e. frames that passed CRC, acceptance filter and
+        #: capacity checks and raised the rx interrupt.  Only accepted
+        #: deliveries are recorded because the cluster's adaptive/
+        #: parallel modes legitimately suppress filtered deliveries
+        #: before they reach the node -- accepted ones are identical in
+        #: every sync mode.  The cluster trace exporter uses it to end
+        #: the bus flow arrows on the receiving node's timeline.
+        self.rx_log: Optional[list] = None
         # statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -161,6 +171,10 @@ class NetInterface:
                 self.kernel.now, "rx-overflow", f"{self.name} id={frame.can_id:#x}"
             )
             return
+        if self.rx_log is not None:
+            self.rx_log.append(
+                (self.kernel.now, frame.flow, frame.can_id, frame.sender)
+            )
         self._incoming.append(frame)
         self.kernel.interrupts.raise_interrupt(self.vector)
 

@@ -15,11 +15,20 @@ Public surface:
 from repro.obs.analyzers import (
     PiChain,
     blocking_report,
+    bus_chain_latency,
+    bus_chain_report,
     latency_report,
     percentile,
     pi_chain_report,
     pi_chains,
     response_percentiles,
+)
+from repro.obs.cluster_trace import (
+    BUS_PID,
+    cluster_chrome_trace,
+    cluster_metrics_registry,
+    enable_cluster_tracing,
+    export_cluster_trace,
 )
 from repro.obs.collector import (
     OBS_MODES,
@@ -38,6 +47,7 @@ from repro.obs.tracer import (
     REQUIRED_TRACE_KEYS,
     chrome_trace_events,
     export_chrome_trace,
+    node_trace_events,
     validate_chrome_trace,
 )
 
@@ -52,9 +62,15 @@ __all__ = [
     "BlockingInterval",
     "OBS_MODES",
     "chrome_trace_events",
+    "node_trace_events",
     "export_chrome_trace",
     "validate_chrome_trace",
     "REQUIRED_TRACE_KEYS",
+    "BUS_PID",
+    "enable_cluster_tracing",
+    "cluster_chrome_trace",
+    "export_cluster_trace",
+    "cluster_metrics_registry",
     "percentile",
     "response_percentiles",
     "latency_report",
@@ -62,4 +78,6 @@ __all__ = [
     "pi_chains",
     "pi_chain_report",
     "blocking_report",
+    "bus_chain_latency",
+    "bus_chain_report",
 ]

@@ -38,6 +38,8 @@ __all__ = [
     "pi_chains",
     "pi_chain_report",
     "blocking_report",
+    "bus_chain_latency",
+    "bus_chain_report",
 ]
 
 
@@ -226,6 +228,147 @@ def pi_chain_report(collector: "ObsCollector") -> str:
             )
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# end-to-end bus chain latency
+# ----------------------------------------------------------------------
+def _stage_stats(values: Optional[List[int]]) -> Optional[Dict[str, int]]:
+    if not values:
+        return None
+    values = sorted(values)
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "p99": percentile(values, 99),
+        "max": values[-1],
+    }
+
+
+def bus_chain_latency(
+    bus_events,
+    rx_logs: Dict[str, Optional[list]],
+    rx_timelines: Optional[Dict[str, list]] = None,
+) -> Dict[int, Dict]:
+    """End-to-end latency chains per bus channel (CAN id).
+
+    Walks each frame through its three observable stages:
+
+    * **send -> deliver**: the sender's original transmit stamp
+      (``BusEvent.queued``, which survives retransmission) to the
+      instant the winning transmission completed on the wire -- so
+      arbitration wait, wire time, error frames, and every retry are
+      all inside this number;
+    * **deliver -> dispatch**: the receiving interface's accepted
+      delivery (``NetInterface.rx_log``) to the driver thread actually
+      consuming the frame (the workload's per-node ``rx_timeline``),
+      FIFO-matched per ``(node, can_id)``;
+    * **send -> dispatch**: the full chain, keyed by the frame's flow
+      id.
+
+    Args:
+        bus_events: A :attr:`Fieldbus.bus_log` (``enable_trace()``).
+        rx_logs: Per-node accepted-delivery logs
+            (:meth:`Cluster.rx_logs`); ``None`` values are skipped.
+        rx_timelines: Optional per-node ``[(time, can_id), ...]``
+            driver-consumption timelines (:meth:`Cluster.rx_timelines`);
+            without them the dispatch stages are ``None``.
+
+    Returns a dict keyed by CAN id; each value carries ``frames`` (the
+    delivered count) and nearest-rank ``p50/p95/p99/max`` stats (ns)
+    per stage (``None`` for stages with no samples).  Inputs are
+    virtual-time integers, so the report is deterministic and
+    identical across cluster sync modes and worker counts.
+    """
+    tx_by_flow: Dict[int, tuple] = {}
+    send_deliver: Dict[int, List[int]] = {}
+    for ev in bus_events:
+        if ev.kind == "tx" and ev.verdict == "ok":
+            if ev.flow is not None:
+                tx_by_flow[ev.flow] = ev
+            send_deliver.setdefault(ev.can_id, []).append(ev.end - ev.queued)
+    deliver_dispatch: Dict[int, List[int]] = {}
+    send_dispatch: Dict[int, List[int]] = {}
+    for node in sorted(rx_logs):
+        entries = rx_logs[node]
+        if not entries:
+            continue
+        timeline = (rx_timelines or {}).get(node) or ()
+        by_id: Dict[int, List[int]] = {}
+        for time, can_id in timeline:
+            by_id.setdefault(can_id, []).append(time)
+        cursor = {can_id: 0 for can_id in by_id}
+        for t_rx, flow, can_id, _sender in entries:
+            times = by_id.get(can_id)
+            if times is None:
+                continue
+            i = cursor[can_id]
+            while i < len(times) and times[i] < t_rx:
+                i += 1
+            if i >= len(times):
+                cursor[can_id] = i
+                continue
+            cursor[can_id] = i + 1
+            t_dispatch = times[i]
+            deliver_dispatch.setdefault(can_id, []).append(t_dispatch - t_rx)
+            tx = tx_by_flow.get(flow)
+            if tx is not None:
+                send_dispatch.setdefault(can_id, []).append(
+                    t_dispatch - tx.queued
+                )
+    out: Dict[int, Dict] = {}
+    for can_id in sorted(set(send_deliver) | set(deliver_dispatch)):
+        deliveries = send_deliver.get(can_id)
+        out[can_id] = {
+            "frames": len(deliveries) if deliveries else 0,
+            "send_deliver_ns": _stage_stats(deliveries),
+            "deliver_dispatch_ns": _stage_stats(deliver_dispatch.get(can_id)),
+            "send_dispatch_ns": _stage_stats(send_dispatch.get(can_id)),
+        }
+    return out
+
+
+def bus_chain_report(
+    bus_events,
+    rx_logs: Dict[str, Optional[list]],
+    rx_timelines: Optional[Dict[str, list]] = None,
+) -> str:
+    """Rendered per-channel send->deliver->dispatch percentile table."""
+    from repro.analysis import format_table
+
+    chains = bus_chain_latency(bus_events, rx_logs, rx_timelines)
+    if not chains:
+        return "no delivered frames recorded on the bus"
+
+    def cell(stats, key):
+        return f"{to_us(stats[key]):.1f}" if stats else "-"
+
+    rows = []
+    for can_id, chain in chains.items():
+        sd = chain["send_deliver_ns"]
+        e2e = chain["send_dispatch_ns"]
+        rows.append(
+            [
+                f"{can_id:#x}",
+                chain["frames"],
+                cell(sd, "p50"),
+                cell(sd, "p95"),
+                cell(sd, "p99"),
+                cell(sd, "max"),
+                cell(e2e, "p50"),
+                cell(e2e, "max"),
+            ]
+        )
+    return format_table(
+        [
+            "can id", "frames",
+            "deliver p50 us", "p95 us", "p99 us", "max us",
+            "e2e p50 us", "e2e max us",
+        ],
+        rows,
+        title="bus chain latency (send -> deliver -> dispatch)",
+    )
 
 
 def blocking_report(collector: "ObsCollector") -> str:

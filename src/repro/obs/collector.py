@@ -178,6 +178,30 @@ class ObsCollector:
         return self
 
     # ------------------------------------------------------------------
+    # pickling (cluster workers ship collectors across the fork barrier)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Picklable snapshot of everything the collector *observed*.
+
+        The attached kernel (whose thread programs hold closures) and
+        the registry-source callbacks are dropped: a collector shipped
+        back from a parallel-cluster worker carries its event records
+        and counters, not live kernel state.  Consequently
+        :meth:`as_registry` on an unpickled collector lacks the
+        trace-derived completion stats -- cluster aggregation therefore
+        builds registries *inside* the owning worker (see
+        ``repro.obs.cluster_trace``) and ships those instead.
+        """
+        state = {slot: getattr(self, slot) for slot in self.__slots__}
+        state["kernel"] = None
+        state["_registry_sources"] = []
+        return state
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    # ------------------------------------------------------------------
     # internal get-or-create (kept tiny; runs on enabled hot paths)
     # ------------------------------------------------------------------
     def _task(self, name: str) -> _TaskStats:

@@ -200,52 +200,67 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._metrics)
 
-    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
-        """Fold ``other``'s series into this registry (and return it).
+    def merge(self, *others: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold the ``others``' series into this registry (and return it).
 
-        Counters add; gauges take the other's current value (running
-        maxima combine); histograms require identical bucket bounds
-        and add bucket counts.  Lets subsystem registries (e.g. the
-        fieldbus dependability metrics) join a kernel collector's
-        export without sharing hot-path state.
+        **The** aggregation API: counters add; gauges take the later
+        registry's current value (running maxima combine); histograms
+        require identical bucket bounds and add bucket counts.  Merge
+        order is argument order, which makes the combined export
+        deterministic when callers pass registries in a deterministic
+        order (the parallel cluster passes per-node registries in node
+        order, so aggregated metrics are byte-identical across worker
+        counts).  Merging is associative, and merging into a *fresh*
+        registry is idempotent in the sense that
+        ``MetricsRegistry().merge(r)`` exports byte-identically to
+        ``r`` itself (regression-tested).
+
+        Single-use examples::
+
+            collector_reg.merge(net_registry(...))   # in-place fold
+            total = MetricsRegistry().merge(*shards) # N-way combine
         """
-        for (name, labels), theirs in other._metrics.items():
-            if theirs.kind == "counter":
-                mine = self._get(Counter, name, dict(labels))
-                mine.value += theirs.value
-            elif theirs.kind == "gauge":
-                mine = self._get(Gauge, name, dict(labels))
-                mine.set(theirs.value)
-                if theirs.max_seen > mine.max_seen:
-                    mine.max_seen = theirs.max_seen
-            else:
-                mine = self._get(
-                    Histogram, name, dict(labels), buckets=theirs.buckets
-                )
-                if mine.buckets != theirs.buckets:
-                    raise ValueError(
-                        f"histogram {name!r}: bucket bounds differ"
+        for other in others:
+            for (name, labels), theirs in other._metrics.items():
+                if theirs.kind == "counter":
+                    mine = self._get(Counter, name, dict(labels))
+                    mine.value += theirs.value
+                elif theirs.kind == "gauge":
+                    mine = self._get(Gauge, name, dict(labels))
+                    mine.set(theirs.value)
+                    if theirs.max_seen > mine.max_seen:
+                        mine.max_seen = theirs.max_seen
+                else:
+                    mine = self._get(
+                        Histogram, name, dict(labels), buckets=theirs.buckets
                     )
-                for i, n in enumerate(theirs.counts):
-                    mine.counts[i] += n
-                mine.total += theirs.total
-                mine.count += theirs.count
+                    if mine.buckets != theirs.buckets:
+                        raise ValueError(
+                            f"histogram {name!r}: bucket bounds differ"
+                        )
+                    for i, n in enumerate(theirs.counts):
+                        mine.counts[i] += n
+                    mine.total += theirs.total
+                    mine.count += theirs.count
         return self
 
     @classmethod
     def merged(cls, registries) -> "MetricsRegistry":
-        """One registry folding ``registries`` together, in order.
+        """Deprecated alias for ``MetricsRegistry().merge(*registries)``.
 
-        The cross-process aggregation path: parallel cluster workers
-        export their shards' registries (plain picklable objects) and
-        the parent folds them -- merge order is the deterministic
-        shard order, so the combined export is byte-identical across
-        worker counts.
+        PR 8 grew this classmethod next to the PR 5 instance method and
+        the pair read as two different operations; they never were.
+        Kept one deprecation cycle for external callers.
         """
-        out = cls()
-        for registry in registries:
-            out.merge(registry)
-        return out
+        import warnings
+
+        warnings.warn(
+            "MetricsRegistry.merged(registries) is deprecated; use "
+            "MetricsRegistry().merge(*registries)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return cls().merge(*registries)
 
     def _sorted_metrics(self) -> List[object]:
         return [

@@ -35,6 +35,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "chrome_trace_events",
+    "node_trace_events",
     "export_chrome_trace",
     "validate_chrome_trace",
     "REQUIRED_TRACE_KEYS",
@@ -85,32 +86,42 @@ def _thread_tids(trace: Trace) -> Dict[str, int]:
     return {name: tid for tid, name in enumerate(sorted(names), start=1)}
 
 
-def chrome_trace_events(
+def node_trace_events(
     trace: Trace,
     collector: Optional["ObsCollector"] = None,
     label: str = "emeralds-sim",
-) -> Dict:
-    """Build the Chrome trace-event JSON object for one run."""
+    pid: int = _PID,
+    span_base: int = 0,
+) -> List[Dict]:
+    """The (unsorted) trace events of one node under process ``pid``.
+
+    The shared per-node generator: the single-node exporter emits one
+    node at ``pid=1``; the cluster exporter
+    (:mod:`repro.obs.cluster_trace`) calls it once per node with a
+    distinct pid and a per-node ``span_base`` offsetting the async job
+    span ids, which are only unique *within* a trace and would collide
+    across nodes otherwise.
+    """
     tids = _thread_tids(trace)
     events: List[Dict] = []
 
     # Metadata: process and track names.
     events.append(
         {
-            "ph": "M", "pid": _PID, "tid": _KERNEL_TID,
+            "ph": "M", "pid": pid, "tid": _KERNEL_TID,
             "name": "process_name", "args": {"name": label},
         }
     )
     events.append(
         {
-            "ph": "M", "pid": _PID, "tid": _KERNEL_TID,
+            "ph": "M", "pid": pid, "tid": _KERNEL_TID,
             "name": "thread_name", "args": {"name": KERNEL},
         }
     )
     for name, tid in tids.items():
         events.append(
             {
-                "ph": "M", "pid": _PID, "tid": tid,
+                "ph": "M", "pid": pid, "tid": tid,
                 "name": "thread_name", "args": {"name": name},
             }
         )
@@ -125,7 +136,7 @@ def chrome_trace_events(
             tid, name, cat = tids[seg.who], seg.who, "exec"
         events.append(
             {
-                "ph": "X", "pid": _PID, "tid": tid, "name": name,
+                "ph": "X", "pid": pid, "tid": tid, "name": name,
                 "cat": cat, "ts": _us(seg.start), "dur": _us(seg.duration),
             }
         )
@@ -135,9 +146,9 @@ def chrome_trace_events(
         if job.completion is None:
             continue
         tid = tids[job.thread]
-        span_id = index + 1
+        span_id = span_base + index + 1
         common = {
-            "pid": _PID, "tid": tid, "cat": "job",
+            "pid": pid, "tid": tid, "cat": "job",
             "name": f"{job.thread} job", "id": span_id,
         }
         events.append({**common, "ph": "b", "ts": _us(job.release)})
@@ -161,7 +172,7 @@ def chrome_trace_events(
             continue  # the exec slices already show switches
         events.append(
             {
-                "ph": "i", "pid": _PID, "tid": _KERNEL_TID, "s": "g",
+                "ph": "i", "pid": pid, "tid": _KERNEL_TID, "s": "g",
                 "name": kind,
                 "cat": "alert" if kind in _ALERT_KINDS else "event",
                 "ts": _us(time),
@@ -187,12 +198,21 @@ def chrome_trace_events(
                 }
             events.append(
                 {
-                    "ph": "i", "pid": _PID, "tid": tid, "s": "t",
+                    "ph": "i", "pid": pid, "tid": tid, "s": "t",
                     "name": name, "cat": "pi", "ts": _us(ev.time),
                     "args": args,
                 }
             )
+    return events
 
+
+def chrome_trace_events(
+    trace: Trace,
+    collector: Optional["ObsCollector"] = None,
+    label: str = "emeralds-sim",
+) -> Dict:
+    """Build the Chrome trace-event JSON object for one run."""
+    events = node_trace_events(trace, collector, label=label)
     # Deterministic order: by timestamp, metadata first, stable within.
     events.sort(key=lambda e: (e.get("ts", -1.0)))
     return {
@@ -200,26 +220,11 @@ def chrome_trace_events(
         "displayTimeUnit": "ms",
         "otherData": {
             "generator": "repro.obs.tracer",
-            "virtual_time_ns": _last_time(trace),
+            "virtual_time_ns": trace.last_time(),
             "record_mode": trace.record,
             "truncated": trace.events_truncated,
         },
     }
-
-
-def _last_time(trace: Trace) -> int:
-    """Latest virtual instant the trace knows about."""
-    latest = 0
-    if trace.segments:
-        latest = trace.segments[-1].end
-    for job in trace.jobs:
-        if job.completion is not None and job.completion > latest:
-            latest = job.completion
-    if trace.events:
-        last_event = max(e[0] for e in trace.events)
-        if last_event > latest:
-            latest = last_event
-    return latest
 
 
 def export_chrome_trace(
@@ -241,7 +246,16 @@ def validate_chrome_trace(payload: Dict) -> int:
     """Check the trace-event schema; returns the event count.
 
     Raises :class:`ValueError` on any violation -- the check CI runs
-    after ``json.load`` on the exported artifact.
+    after ``json.load`` on the exported artifact.  Beyond the basic
+    per-event shape it checks two cross-event invariants the cluster
+    exporter relies on:
+
+    * **flow-event pairing**: flow events match on ``(cat, id)``;
+      every start (``"s"``) needs a finish (``"f"``) and vice versa
+      (a dangling arrow renders as nothing in Perfetto, silently);
+    * **process naming**: every pid that appears must carry a
+      ``process_name`` metadata record, so multi-pid (cluster) traces
+      label each node's track group.
     """
     if not isinstance(payload, dict):
         raise ValueError("chrome trace must be a JSON object")
@@ -251,11 +265,44 @@ def validate_chrome_trace(payload: Dict) -> int:
     events = payload["traceEvents"]
     if not isinstance(events, list) or not events:
         raise ValueError("traceEvents must be a non-empty list")
+    pids = set()
+    named_pids = set()
+    flow_starts = set()
+    flow_finishes = set()
     for event in events:
         if "ph" not in event or "pid" not in event:
             raise ValueError(f"malformed trace event: {event!r}")
-        if event["ph"] != "M" and "ts" not in event:
+        ph = event["ph"]
+        pids.add(event["pid"])
+        if ph == "M":
+            if event.get("name") == "process_name":
+                named_pids.add(event["pid"])
+            continue
+        if "ts" not in event:
             raise ValueError(f"non-metadata event without ts: {event!r}")
-        if event["ph"] == "X" and "dur" not in event:
+        if ph == "X" and "dur" not in event:
             raise ValueError(f"complete event without dur: {event!r}")
+        if ph in ("s", "t", "f"):
+            if "id" not in event:
+                raise ValueError(f"flow event without id: {event!r}")
+            key = (event.get("cat"), event["id"])
+            if ph == "s":
+                flow_starts.add(key)
+            elif ph == "f":
+                flow_finishes.add(key)
+    unfinished = flow_starts - flow_finishes
+    if unfinished:
+        raise ValueError(
+            f"flow starts without a matching finish: {sorted(unfinished)[:5]!r}"
+        )
+    unstarted = flow_finishes - flow_starts
+    if unstarted:
+        raise ValueError(
+            f"flow finishes without a matching start: {sorted(unstarted)[:5]!r}"
+        )
+    unnamed = pids - named_pids
+    if unnamed:
+        raise ValueError(
+            f"pids without process_name metadata: {sorted(unnamed)!r}"
+        )
     return len(events)

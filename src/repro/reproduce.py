@@ -36,6 +36,15 @@ per-semaphore blocking / priority-inheritance totals::
 
     python -m repro.reproduce trace --out trace.json
     python -m repro.reproduce metrics --demo pi --scheme emeralds
+
+The ``cluster-trace`` subcommand runs the canonical ring cluster with
+cluster-wide tracing armed and exports ONE merged Perfetto timeline
+(one pid per node plus a bus pid, with causal flow arrows from each
+transmit slice to its deliveries) plus the aggregated cross-node
+metrics registry::
+
+    python -m repro.reproduce cluster-trace --out cluster.trace.json
+    python -m repro.reproduce cluster-trace --verify   # byte-identity
 """
 
 from __future__ import annotations
@@ -774,6 +783,164 @@ def run_metrics(argv: List[str]) -> int:
     return 0
 
 
+def _traced_ring_cluster(
+    nodes: int, utilization: float, horizon_ns: int, sync: str,
+    workers: int,
+):
+    """One fully-instrumented ring run; returns the (closed-later) cluster."""
+    from repro.obs.cluster_trace import enable_cluster_tracing
+    from repro.perf.clusterload import build_ring_cluster
+
+    cluster = build_ring_cluster(
+        nodes, utilization, sync, record="full",
+        workers=workers or None,
+    )
+    enable_cluster_tracing(cluster, obs="full")
+    cluster.run_until(horizon_ns)
+    return cluster
+
+
+def _cluster_trace_text(payload: Dict) -> str:
+    """The canonical on-disk serialization (what byte-identity compares)."""
+    import json
+
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def run_cluster_trace(argv: List[str]) -> int:
+    """The ``cluster-trace`` subcommand: merged multi-node Perfetto export.
+
+    Runs the canonical ring workload with cluster-wide tracing armed,
+    exports the merged Chrome/Perfetto JSON (validated before writing),
+    prints the bus-chain latency percentiles, and optionally writes the
+    aggregated cross-node metrics registry.  ``--verify`` re-runs the
+    same configuration under lockstep / adaptive / parallel
+    synchronization and asserts the merged trace and metrics are
+    byte-identical -- the determinism contract of the exporter.
+    """
+    from repro.obs.analyzers import bus_chain_report
+    from repro.obs.cluster_trace import (
+        cluster_chrome_trace,
+        cluster_metrics_registry,
+    )
+    from repro.obs.tracer import validate_chrome_trace
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce cluster-trace",
+        description="Export one merged multi-node Perfetto timeline "
+        "from the canonical ring cluster.",
+    )
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument(
+        "--utilization", type=float, default=0.5,
+        help="offered bus load of the ring senders (default 0.5)",
+    )
+    parser.add_argument(
+        "--horizon-ms", type=int, default=100,
+        help="virtual run length in ms (default 100)",
+    )
+    parser.add_argument(
+        "--sync", choices=("lockstep", "adaptive", "parallel"),
+        default="adaptive", help="cluster synchronization mode",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes for --sync parallel (0 = auto)",
+    )
+    parser.add_argument(
+        "--out", default="cluster.trace.json",
+        help="merged trace output path (default cluster.trace.json)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="also write the aggregated metrics registry JSON here",
+    )
+    parser.add_argument(
+        "--prom-out", default=None,
+        help="also write the Prometheus text exposition here",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller horizon and a 2-configuration --verify matrix",
+    )
+    parser.add_argument(
+        "--verify", action="store_true",
+        help="assert byte-identical output across sync modes and "
+        "worker counts before writing",
+    )
+    args = parser.parse_args(argv)
+    if args.nodes < 2:
+        parser.error(f"--nodes must be at least 2 (got {args.nodes})")
+    if not 0.0 < args.utilization <= 1.0:
+        parser.error(
+            f"--utilization must be in (0, 1] (got {args.utilization:g})"
+        )
+    if args.horizon_ms <= 0:
+        parser.error(f"--horizon-ms must be positive (got {args.horizon_ms})")
+    if args.workers < 0:
+        parser.error(f"--workers must be non-negative (got {args.workers})")
+    horizon = ms(20 if args.quick else args.horizon_ms)
+
+    _banner(
+        f"Cluster trace: {args.nodes}-node ring, u={args.utilization:g}, "
+        f"{to_ms(horizon):.0f} ms, sync={args.sync}"
+    )
+    cluster = _traced_ring_cluster(
+        args.nodes, args.utilization, horizon, args.sync, args.workers
+    )
+    payload = cluster_chrome_trace(cluster)
+    count = validate_chrome_trace(payload)
+    text = _cluster_trace_text(payload)
+    bus_events = list(cluster.bus.bus_log or [])
+    rx_logs = cluster.rx_logs()
+    rx_timelines = cluster.rx_timelines()
+    registry = cluster_metrics_registry(cluster)
+    cluster.close()
+
+    flow_pairs = sum(1 for e in payload["traceEvents"] if e.get("ph") == "s")
+    print(
+        f"merged events: {count} ({flow_pairs} flow pairs, "
+        f"{len(payload['otherData']['nodes'])} node pids + bus pid)"
+    )
+    print()
+    print(bus_chain_report(bus_events, rx_logs, rx_timelines))
+
+    if args.verify:
+        matrix = [("lockstep", 0), ("parallel", 2)]
+        if not args.quick:
+            matrix.append(("parallel", 4))
+        print()
+        for sync, workers in matrix:
+            other = _traced_ring_cluster(
+                args.nodes, args.utilization, horizon, sync, workers
+            )
+            other_text = _cluster_trace_text(cluster_chrome_trace(other))
+            other_metrics = cluster_metrics_registry(other).to_json()
+            other.close()
+            tag = f"{sync}/w{workers}" if workers else sync
+            if other_text != text:
+                print(f"VERIFY FAILED: trace differs under {tag}")
+                return 1
+            if other_metrics != registry.to_json():
+                print(f"VERIFY FAILED: metrics differ under {tag}")
+                return 1
+            print(f"verified byte-identical under {tag}")
+
+    with open(args.out, "w") as fh:
+        fh.write(text)
+    print(f"\nwrote {count} merged trace events to {args.out} "
+          "(load at https://ui.perfetto.dev)")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(registry.to_json() + "\n")
+        print(f"aggregated metrics JSON written to {args.metrics_out}")
+    if args.prom_out is not None:
+        with open(args.prom_out, "w") as fh:
+            fh.write(registry.to_prometheus())
+        print(f"Prometheus exposition written to {args.prom_out}")
+    return 0
+
+
 TARGETS: Dict[str, Callable[[bool], None]] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -805,6 +972,8 @@ def main(argv: List[str] = None) -> int:
         return run_trace(raw[1:])
     if raw and raw[0] == "metrics":
         return run_metrics(raw[1:])
+    if raw and raw[0] == "cluster-trace":
+        return run_cluster_trace(raw[1:])
     parser = argparse.ArgumentParser(
         description="Regenerate the EMERALDS paper's tables and figures."
     )

@@ -313,6 +313,26 @@ class Trace:
             )
         return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
 
+    def last_time(self) -> int:
+        """Latest instant covered by any stored record (ns).
+
+        The maximum over segment ends, job releases/completions, and
+        point-event stamps -- 0 for an empty trace.  Exporters use it
+        to place end-of-run markers without knowing the horizon.
+        """
+        last = 0
+        if self.segments:
+            last = self.segments[-1].end
+        for job in self.jobs:
+            if job.completion is not None and job.completion > last:
+                last = job.completion
+            elif job.release > last:
+                last = job.release
+        for time, _kind, _detail in self.events:
+            if time > last:
+                last = time
+        return last
+
     def misses(self) -> List[JobRecord]:
         """Jobs that completed after their deadline."""
         return [j for j in self.jobs if j.missed]

@@ -82,6 +82,57 @@ class TestRegistry:
         assert 'resp_ns_count{task="a"} 1' in text
 
 
+def _sample_registry(scale: int = 1) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", task="a").inc(3 * scale)
+    g = reg.gauge("depth")
+    g.set(2 * scale)
+    g.set(scale)
+    reg.histogram("resp_ns", buckets=(10, 20), task="a").observe(15 * scale)
+    return reg
+
+
+class TestMerge:
+    def test_variadic_merge_folds_all_kinds(self):
+        a, b = _sample_registry(1), _sample_registry(2)
+        merged = MetricsRegistry().merge(a, b)
+        assert merged.counter("jobs_total", task="a").value == 9
+        assert merged.gauge("depth").value == 2  # later argument wins
+        assert merged.gauge("depth").max_seen == 4
+        h = merged.histogram("resp_ns", buckets=(10, 20), task="a")
+        assert h.count == 2 and h.total == 45
+
+    def test_merge_returns_self_for_chaining(self):
+        reg = MetricsRegistry()
+        assert reg.merge(_sample_registry()) is reg
+
+    def test_merge_into_empty_is_identity(self):
+        """Idempotence anchor: folding one registry into a fresh one
+        reproduces its exports byte for byte."""
+        reg = _sample_registry()
+        assert MetricsRegistry().merge(reg).to_json() == reg.to_json()
+        assert (
+            MetricsRegistry().merge(reg).to_prometheus()
+            == reg.to_prometheus()
+        )
+
+    def test_double_merge_equals_single_pass(self):
+        """Regression: merging shard-by-shard (the worker aggregation
+        path) must equal merging everything in one variadic call."""
+        shards = [_sample_registry(s) for s in (1, 2, 3)]
+        one_pass = MetricsRegistry().merge(*shards)
+        stepwise = MetricsRegistry()
+        for shard in shards:
+            stepwise.merge(shard)
+        assert one_pass.to_json() == stepwise.to_json()
+
+    def test_merged_shim_warns_and_matches_canonical(self):
+        shards = [_sample_registry(s) for s in (1, 2)]
+        with pytest.warns(DeprecationWarning, match="merge"):
+            via_shim = MetricsRegistry.merged(shards)
+        assert via_shim.to_json() == MetricsRegistry().merge(*shards).to_json()
+
+
 class TestCollector:
     def test_mode_validated(self):
         with pytest.raises(ValueError, match="unknown obs mode"):

@@ -79,6 +79,63 @@ class TestChromeTrace:
         with pytest.raises(ValueError):
             validate_chrome_trace(payload)
 
+    def _payload(self, *extra_events):
+        """A minimal valid payload to poke cross-event invariants."""
+        return {
+            "traceEvents": [
+                {
+                    "ph": "M", "pid": 1, "tid": 0,
+                    "name": "process_name", "args": {"name": "node"},
+                },
+                {"ph": "X", "pid": 1, "tid": 0, "name": "work",
+                 "ts": 0.0, "dur": 1.0},
+                *extra_events,
+            ],
+            "displayTimeUnit": "ms",
+            "otherData": {},
+        }
+
+    def test_validate_rejects_dangling_flow_start(self):
+        payload = self._payload(
+            {"ph": "s", "pid": 1, "tid": 0, "name": "frame",
+             "cat": "flow", "id": 7, "ts": 0.5},
+        )
+        with pytest.raises(ValueError, match="without a matching finish"):
+            validate_chrome_trace(payload)
+
+    def test_validate_rejects_dangling_flow_finish(self):
+        payload = self._payload(
+            {"ph": "f", "pid": 1, "tid": 0, "name": "frame",
+             "cat": "flow", "id": 7, "ts": 0.5, "bp": "e"},
+        )
+        with pytest.raises(ValueError, match="without a matching start"):
+            validate_chrome_trace(payload)
+
+    def test_validate_accepts_matched_flow_pair(self):
+        payload = self._payload(
+            {"ph": "s", "pid": 1, "tid": 0, "name": "frame",
+             "cat": "flow", "id": 7, "ts": 0.2},
+            {"ph": "f", "pid": 1, "tid": 0, "name": "frame",
+             "cat": "flow", "id": 7, "ts": 0.5, "bp": "e"},
+        )
+        assert validate_chrome_trace(payload) == 4
+
+    def test_validate_rejects_flow_event_without_id(self):
+        payload = self._payload(
+            {"ph": "s", "pid": 1, "tid": 0, "name": "frame",
+             "cat": "flow", "ts": 0.5},
+        )
+        with pytest.raises(ValueError, match="flow event without id"):
+            validate_chrome_trace(payload)
+
+    def test_validate_rejects_unnamed_pid(self):
+        payload = self._payload(
+            {"ph": "X", "pid": 2, "tid": 0, "name": "orphan",
+             "ts": 0.0, "dur": 1.0},
+        )
+        with pytest.raises(ValueError, match="without process_name"):
+            validate_chrome_trace(payload)
+
 
 class TestPrometheusGolden:
     def test_matches_golden(self, demo):

@@ -400,7 +400,7 @@ class TestQueries:
 # cross-process metrics folding
 # ----------------------------------------------------------------------
 class TestMetricsMerged:
-    def test_merged_folds_in_order(self):
+    def test_merge_folds_in_order(self):
         shards = []
         for base in (1, 10):
             reg = MetricsRegistry()
@@ -409,12 +409,12 @@ class TestMetricsMerged:
             reg.gauge("depth").set(base)
             reg.histogram("lat", buckets=(10, 20)).observe(base)
             shards.append(reg)
-        merged = MetricsRegistry.merged(shards)
+        merged = MetricsRegistry().merge(*shards)
         out = merged.to_dict()
         assert out["shared_total"]["series"][0]["value"] == 11
         assert out["depth"]["series"][0]["value"] == 10
         assert out["depth"]["series"][0]["max"] == 10
         assert out["lat"]["series"][0]["count"] == 2
         # Same shards, same order -> byte-identical export.
-        again = MetricsRegistry.merged(shards)
+        again = MetricsRegistry().merge(*shards)
         assert again.to_json() == merged.to_json()
