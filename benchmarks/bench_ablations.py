@@ -12,6 +12,11 @@
    queue (the O(1) swap only beats the O(n) reposition once the queue
    passes ~18 tasks under the calibrated cost model).
 4. **Sorted queue vs heap** under RM (Table 1's third column).
+5. **Budget enforcement actions** under an overrun storm, swept from
+   one shared warm-up snapshot: every variant restores the same
+   defended prefix and re-tunes only the budget action at the split
+   (the :func:`repro.faults.chaos.chaos_continue` ``defense_override``
+   hook), so the comparison isolates the action itself.
 """
 
 from common import bench_workloads, publish
@@ -213,3 +218,114 @@ def test_heap_vs_queue_rm(benchmark):
     )
     # Below the ~58-task crossover the queue implementation wins.
     assert queue >= heap
+
+
+def test_defense_ablation_shared_prefix(benchmark):
+    """Budget actions ablated from one shared warm-up snapshot.
+
+    All (action, seed) variants share the defended fault-free warm-up;
+    the planner simulates it once and each continuation re-tunes only
+    the budget action before the same overrun storm arms.  Every
+    restored result is cross-checked against a cold run of the same
+    configuration -- the ablation rides on the snapshot machinery and
+    proves it exact at the same time.
+    """
+    from repro.faults.chaos import (
+        BUDGET_FACTOR,
+        WORKLOAD,
+        chaos_continue,
+        chaos_prefix,
+        run_chaos,
+    )
+    from repro.perf.sweeps import PrefixSpec, prefix_map
+    from repro.timeunits import ms
+
+    duration, warmup = ms(2000), ms(1500)
+    rate = 100.0
+    actions = ("suspend_job", "kill", "warn")
+    seeds = (1, 2)
+    cases = [(action, seed) for action in actions for seed in seeds]
+
+    def override(action):
+        def apply(kernel):
+            for name, _period, wcet, _crit in WORKLOAD:
+                kernel.set_budget(
+                    name, round(BUDGET_FACTOR * wcet), action=action
+                )
+        return apply
+
+    def plan(case):
+        action, seed = case
+        spec = PrefixSpec(
+            key=("chaos-ablate", warmup),
+            t_split=warmup,
+            build=lambda: chaos_prefix(True, t_split=warmup),
+        )
+
+        def continuation(kernel):
+            return chaos_continue(
+                kernel,
+                seed,
+                duration,
+                wcet_overrun_rate=rate,
+                faults_from=warmup,
+                defense_override=override(action),
+            )
+
+        return spec, continuation
+
+    outcomes = benchmark.pedantic(
+        lambda: prefix_map(plan, cases), rounds=1, iterations=1
+    )
+    by_action = {}
+    rows = []
+    for action in actions:
+        results = [
+            out for case, out in zip(cases, outcomes) if case[0] == action
+        ]
+        by_action[action] = results
+        rows.append(
+            [
+                action,
+                f"{sum(r.miss_ratio for r in results) / len(results):.3f}",
+                f"{sum(r.service_ratio['ctrl'] for r in results) / len(results):.3f}",
+                f"{sum(r.jobs_aborted for r in results) / len(results):.1f}",
+            ]
+        )
+    publish(
+        "ablation_defenses",
+        format_table(
+            ["budget action", "miss ratio", "ctrl svc", "aborted"],
+            rows,
+            title=(
+                "Ablation: budget enforcement action "
+                "(shared 1500 ms warm-up snapshot, 100 overruns/s)"
+            ),
+        ),
+    )
+
+    # Snapshot exactness: each restored variant equals its cold twin.
+    for (action, seed), out in zip(cases, outcomes):
+        cold = run_chaos(
+            seed,
+            duration,
+            wcet_overrun_rate=rate,
+            faults_from=warmup,
+            defense_override=override(action),
+        )
+        assert out == cold, f"snapshot diverged for {(action, seed)}"
+
+    # suspend_job aborts the overrunning job and keeps the thread;
+    # kill takes the whole thread down (the restart policy decides its
+    # fate), so it aborts no jobs but bleeds service; warn enforces
+    # nothing and pays in missed deadlines.
+    assert all(r.jobs_aborted > 0 for r in by_action["suspend_job"])
+    assert all(r.jobs_aborted == 0 for r in by_action["kill"])
+    assert all(r.jobs_aborted == 0 for r in by_action["warn"])
+    mean = lambda rs, f: sum(f(r) for r in rs) / len(rs)  # noqa: E731
+    assert mean(by_action["kill"], lambda r: r.service_ratio["ctrl"]) < mean(
+        by_action["suspend_job"], lambda r: r.service_ratio["ctrl"]
+    )
+    assert mean(by_action["warn"], lambda r: r.miss_ratio) >= mean(
+        by_action["suspend_job"], lambda r: r.miss_ratio
+    )

@@ -21,6 +21,12 @@ simulation, so the sweep fans out over ``--workers`` processes
 (results identical to the serial run).  ``--smoke`` shrinks the sweep
 for CI and *asserts* the retransmission guarantee (exit code 1 on
 violation) -- the ``net-chaos-smoke`` CI job runs exactly that.
+
+With ``--warmup-ms`` the wire faults arm only after a loss-free
+warm-up; cases with the same retry bound then share that warm-up
+cluster, simulated once and restored per point through
+:func:`repro.perf.sweeps.prefix_map` (``--snapshot`` picks the
+mechanism; byte-identical to cold-starting each point).
 """
 
 import statistics
@@ -28,7 +34,8 @@ from typing import Tuple
 
 from common import apply_bench_args, bench_arg_parser, publish, sweep_map
 from repro.analysis import format_table
-from repro.faults.chaos import run_net_chaos
+from repro.faults.chaos import net_chaos_continue, net_chaos_prefix, run_net_chaos
+from repro.perf.sweeps import PrefixSpec, prefix_map
 from repro.timeunits import ms, to_ms, to_us
 
 #: Retransmission bound when retries are on (the CAN-ish default).
@@ -43,31 +50,69 @@ def _avg_wait_us(result) -> float:
     return result.arbitration_wait_ns / result.frames_delivered / 1000.0
 
 
-def _net_case(case: Tuple[float, int, int, int]):
-    """One seeded network chaos run; module-level so worker processes
-    can import it.  Determinism rides on the seed inside the case."""
-    drop_p, retries, seed, duration_ns = case
+def make_cases(drop_ps, seeds, duration_ns, warmup_ns=0):
+    """The sweep grid: one case per (drop rate, retries, seed)."""
+    return [
+        (drop_p, retries, seed, duration_ns, warmup_ns)
+        for drop_p in drop_ps
+        for retries in (RETRY_BOUND, 0)
+        for seed in seeds
+    ]
+
+
+def _net_case(case: Tuple[float, int, int, int, int]):
+    """One seeded network chaos run, cold-started; module-level so
+    worker processes can import it.  Determinism rides on the seed
+    inside the case."""
+    drop_p, retries, seed, duration_ns, warmup_ns = case
     return run_net_chaos(
         seed,
         duration_ns,
         drop_p=drop_p,
         dependability=True,
         max_retransmits=retries,
+        faults_from=warmup_ns,
     )
 
 
-def sweep(drop_ps, seeds, duration_ns):
-    cases = [
-        (drop_p, retries, seed, duration_ns)
-        for drop_p in drop_ps
-        for retries in (RETRY_BOUND, 0)
-        for seed in seeds
-    ]
-    outcomes = sweep_map(_net_case, cases)
+def _net_plan(case: Tuple[float, int, int, int, int]):
+    """Shared-prefix plan for one case: cases with the same retry
+    bound (and horizon) share the loss-free warm-up cluster."""
+    drop_p, retries, seed, duration_ns, warmup_ns = case
+    spec = PrefixSpec(
+        key=("netchaos", retries, duration_ns, warmup_ns),
+        t_split=warmup_ns,
+        build=lambda: net_chaos_prefix(
+            duration_ns,
+            dependability=True,
+            max_retransmits=retries,
+            t_split=warmup_ns,
+        ),
+    )
+
+    def continuation(state):
+        return net_chaos_continue(
+            state, seed, drop_p=drop_p, faults_from=warmup_ns
+        )
+
+    return spec, continuation
+
+
+def run_cases(cases, snapshot=None):
+    """Execute the grid: shared-prefix planner when a warm-up makes
+    prefixes shareable, the classic parallel cold sweep otherwise."""
+    if any(case[4] > 0 for case in cases):
+        return prefix_map(_net_plan, cases, mode=snapshot)
+    return sweep_map(_net_case, cases)
+
+
+def sweep(drop_ps, seeds, duration_ns, warmup_ns=0, snapshot=None):
+    cases = make_cases(drop_ps, seeds, duration_ns, warmup_ns)
+    outcomes = run_cases(cases, snapshot)
     rows = []
     per_seed = len(seeds)
     for index in range(0, len(cases), per_seed):
-        drop_p, retries, _, _ = cases[index]
+        drop_p, retries, _, _, _ = cases[index]
         results = outcomes[index:index + per_seed]
         rows.append(
             [
@@ -93,14 +138,28 @@ def main(argv=None) -> int:
         "--smoke", action="store_true",
         help="tiny sweep for CI; asserts ratio 1.0 with retries at p<=0.1",
     )
+    parser.add_argument(
+        "--warmup-ms", type=int, default=0,
+        help="loss-free warm-up before the wire faults arm; cases "
+             "sharing a warm-up reuse one snapshotted prefix (default "
+             "0 = the classic cold sweep)",
+    )
     args = apply_bench_args(parser.parse_args(argv))
+    if args.warmup_ms < 0:
+        raise SystemExit(f"--warmup-ms must be non-negative (got {args.warmup_ms})")
     if args.smoke:
         drop_ps, seeds, duration = (0.0, 0.05, 0.1), (1, 2), ms(300)
     else:
         drop_ps, seeds, duration = (
             (0.0, 0.02, 0.05, 0.1, 0.2, 0.3), (1, 2, 3, 4, 5), ms(1000)
         )
-    rows, outcomes, cases = sweep(drop_ps, seeds, duration)
+    warmup = ms(args.warmup_ms)
+    if warmup >= duration:
+        raise SystemExit(
+            f"--warmup-ms {args.warmup_ms} leaves no room for faults "
+            f"inside the {to_ms(duration):.0f} ms horizon"
+        )
+    rows, outcomes, cases = sweep(drop_ps, seeds, duration, warmup)
     header = [
         "drop p",
         "retries",
@@ -114,9 +173,12 @@ def main(argv=None) -> int:
         "worst lat us",
         "avg wait us",
     ]
+    warmup_note = (
+        f", faults armed after {to_ms(warmup):.0f} ms warm-up" if warmup else ""
+    )
     text = (
         f"Fieldbus dependability sweep: 4 nodes, {len(seeds)} seeds x "
-        f"{to_ms(duration):.0f} ms, retry bound {RETRY_BOUND}\n"
+        f"{to_ms(duration):.0f} ms, retry bound {RETRY_BOUND}{warmup_note}\n"
         + format_table(header, rows)
     )
     publish("net_fault_sweep", text)

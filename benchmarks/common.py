@@ -31,6 +31,11 @@ Environment knobs:
   (``counters`` or ``full``; default unset = observation off).
   Benchmarks that honor it can dump the metrics/trace artifacts via
   :func:`dump_obs_artifacts`.
+* ``REPRO_SNAPSHOT`` -- snapshot mechanism for shared-prefix sweeps
+  (``auto``/``fork``/``deepcopy``/``cold``; see
+  :mod:`repro.perf.snapshot`).
+* ``REPRO_BENCH_SWEEPS_TRAJECTORY`` -- sweep-speedup trajectory file
+  (default ``BENCH_sweeps.json`` at the repo root).
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import os
 from pathlib import Path
 from typing import List, Optional
 
+from repro.perf.snapshot import SNAPSHOT_ENV, SNAPSHOT_MODES
 from repro.perf.sweeps import WORKERS_ENV, parallel_map, resolve_workers
 from repro.sim.trace import RECORD_MODES
 
@@ -52,6 +58,10 @@ TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_kernel.json"
 #: separate file: cluster throughput moves independently of the
 #: single-kernel hot path).
 CLUSTER_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_cluster.json"
+
+#: The committed sweep-speedup trajectory (cold vs snapshot wall clock
+#: on the canonical shared-prefix sweeps).
+SWEEPS_TRAJECTORY_PATH = Path(__file__).parent.parent / "BENCH_sweeps.json"
 
 #: Explicit registry of every benchmark: name -> invocation style.
 #: ``"cli"`` modules expose ``main(argv) -> int`` and are called
@@ -74,6 +84,7 @@ BENCHMARKS = {
     "kernel_overhead": "pytest",
     "net_faults": "cli",
     "obs": "cli",
+    "sweeps": "cli",
     "table1": "pytest",
     "table2_fig2": "pytest",
     "table3": "pytest",
@@ -131,6 +142,12 @@ def cluster_trajectory_path() -> Path:
     """The cluster perf trajectory file (``BENCH_cluster.json``)."""
     raw = os.environ.get("REPRO_BENCH_CLUSTER_TRAJECTORY", "")
     return Path(raw) if raw else CLUSTER_TRAJECTORY_PATH
+
+
+def sweeps_trajectory_path() -> Path:
+    """The sweep-speedup trajectory file (``BENCH_sweeps.json``)."""
+    raw = os.environ.get("REPRO_BENCH_SWEEPS_TRAJECTORY", "")
+    return Path(raw) if raw else SWEEPS_TRAJECTORY_PATH
 
 
 def bench_obs_mode() -> Optional[str]:
@@ -197,6 +214,11 @@ def bench_arg_parser(description: Optional[str] = None) -> argparse.ArgumentPars
         "--obs", choices=("counters", "full"), default=None,
         help="attach an observability collector to live-kernel runs",
     )
+    parser.add_argument(
+        "--snapshot", choices=SNAPSHOT_MODES, default=None,
+        help="snapshot mechanism for shared-prefix sweeps "
+             "(auto = fork where available; cold disables prefix reuse)",
+    )
     return parser
 
 
@@ -214,6 +236,8 @@ def apply_bench_args(args: argparse.Namespace) -> argparse.Namespace:
         os.environ["REPRO_BENCH_RECORD"] = args.record
     if getattr(args, "obs", None) is not None:
         os.environ["REPRO_BENCH_OBS"] = args.obs
+    if getattr(args, "snapshot", None) is not None:
+        os.environ[SNAPSHOT_ENV] = args.snapshot
     return args
 
 

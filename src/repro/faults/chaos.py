@@ -12,6 +12,18 @@ repro.reproduce faults`` subcommand are both thin wrappers around
 Everything is a pure function of ``(seed, duration, rates,
 defenses)``: :attr:`ChaosResult.trace_signature` is asserted stable by
 the determinism tests.
+
+Both harnesses are split into a *prefix* (build the configuration and
+simulate the fault-free warm-up to a split point) and a *continuation*
+(arm the faults there and run to the horizon), so sweep points sharing
+a warm-up can restore it from one checkpoint (see
+:func:`repro.perf.sweeps.prefix_map`).  The activation point
+``faults_from`` is part of the configuration: a cold run with
+``faults_from=t`` performs build -> run_until(t) -> arm -> run, which
+is operation-for-operation what a restored continuation performs --
+byte-identical signatures by construction.  ``faults_from=0`` (the
+default everywhere) arms faults before the first event, exactly the
+historical behavior.
 """
 
 from __future__ import annotations
@@ -19,7 +31,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.analysis.metrics import miss_ratio, recovery_time_ns
 from repro.core.edf import EDFScheduler
@@ -33,8 +45,13 @@ from repro.timeunits import ms
 __all__ = [
     "ChaosResult",
     "NetChaosResult",
+    "NetChaosState",
     "build_chaos_kernel",
+    "chaos_prefix",
+    "chaos_continue",
     "run_chaos",
+    "net_chaos_prefix",
+    "net_chaos_continue",
     "run_net_chaos",
     "WORKLOAD",
 ]
@@ -76,14 +93,22 @@ class ChaosResult:
     trace_signature: str = field(repr=False, default="")
 
 
-def build_chaos_kernel(defenses: bool = True) -> Kernel:
+def build_chaos_kernel(
+    defenses: bool = True, obs: Optional[str] = None
+) -> Kernel:
     """The reference workload on an EDF kernel, defended or bare.
 
     With ``defenses`` each task gets a per-job budget of
     ``BUDGET_FACTOR * wcet`` (action ``suspend_job``) and a bounded
-    restart policy (3 restarts, one-period initial back-off).
+    restart policy (3 restarts, one-period initial back-off).  ``obs``
+    attaches an observability collector in the named mode (reachable
+    as ``kernel.obs`` afterward).
     """
     kernel = Kernel(scheduler=EDFScheduler(ZERO_OVERHEAD))
+    if obs is not None:
+        from repro.obs.collector import ObsCollector
+
+        ObsCollector(mode=obs).attach(kernel)
     for name, period, wcet, criticality in WORKLOAD:
         kernel.create_thread(
             name,
@@ -100,7 +125,25 @@ def build_chaos_kernel(defenses: bool = True) -> Kernel:
     return kernel
 
 
-def run_chaos(
+def chaos_prefix(
+    defenses: bool = True, t_split: int = 0, obs: Optional[str] = None
+) -> Kernel:
+    """Build the chaos kernel and simulate its fault-free warm-up.
+
+    Returns the kernel paused exactly at ``t_split`` -- the shared
+    prefix every sweep point with the same ``(defenses, obs,
+    t_split)`` restores from.  ``t_split=0`` skips the warm-up.
+    """
+    if t_split < 0:
+        raise ValueError(f"t_split must be non-negative (got {t_split})")
+    kernel = build_chaos_kernel(defenses, obs=obs)
+    if t_split:
+        kernel.run_until(t_split)
+    return kernel
+
+
+def chaos_continue(
+    kernel: Kernel,
     seed: int,
     duration_ns: int = ms(1000),
     *,
@@ -110,14 +153,29 @@ def run_chaos(
     defenses: bool = True,
     burst_end_ns: Optional[int] = None,
     plan: Optional[FaultPlan] = None,
+    faults_from: int = 0,
+    defense_override: Optional[Callable[[Kernel], None]] = None,
 ) -> ChaosResult:
-    """One seeded chaos run; see the module docstring.
+    """Finish a chaos run from a prefix kernel paused at ``faults_from``.
 
-    ``plan`` overrides the generated plan (rates are then ignored).
-    ``burst_end_ns`` marks where the fault burst nominally stops for
-    the recovery-time metric; it defaults to the last planned fault.
+    Arms the generated (or given) plan's faults strictly after the
+    split, applies an optional ``defense_override(kernel)`` -- the
+    ablation hook: re-tune budgets/restart policies at the split
+    instant -- and runs to ``duration_ns``.  ``defenses`` only labels
+    the result; the kernel's actual defenses were fixed by the prefix
+    (modulo the override).
+
+    The kernel must sit exactly at ``faults_from``: the continuation's
+    operation sequence is then identical whether ``kernel`` came from
+    a cold :func:`chaos_prefix` call, a fork, or a deepcopy snapshot.
     """
-    kernel = build_chaos_kernel(defenses)
+    if kernel.now != faults_from:
+        raise ValueError(
+            f"continuation must resume exactly at the split point "
+            f"(kernel at {kernel.now}, faults_from {faults_from})"
+        )
+    if defense_override is not None:
+        defense_override(kernel)
     if plan is None:
         plan = FaultPlan.generate(
             seed,
@@ -127,6 +185,7 @@ def run_chaos(
             crash_rate=crash_rate,
             clock_jitter_rate=clock_jitter_rate,
         )
+    plan = plan.after(faults_from)
     injector = FaultInjector(kernel, plan).install()
     trace = kernel.run_until(duration_ns)
     if burst_end_ns is None:
@@ -158,6 +217,46 @@ def run_chaos(
         ),
         recovery_ns=recovery_time_ns(trace, kernel.now, burst_end_ns),
         trace_signature=signature,
+    )
+
+
+def run_chaos(
+    seed: int,
+    duration_ns: int = ms(1000),
+    *,
+    wcet_overrun_rate: float = 0.0,
+    crash_rate: float = 0.0,
+    clock_jitter_rate: float = 0.0,
+    defenses: bool = True,
+    burst_end_ns: Optional[int] = None,
+    plan: Optional[FaultPlan] = None,
+    faults_from: int = 0,
+    defense_override: Optional[Callable[[Kernel], None]] = None,
+    obs: Optional[str] = None,
+) -> ChaosResult:
+    """One seeded chaos run; see the module docstring.
+
+    ``plan`` overrides the generated plan (rates are then ignored).
+    ``burst_end_ns`` marks where the fault burst nominally stops for
+    the recovery-time metric; it defaults to the last planned fault.
+    ``faults_from`` is the fault-activation point: the run warms up
+    fault-free to it, then arms the plan's later faults -- the cold
+    reference for prefix-snapshot sweeps (0 = arm at t = 0, the
+    historical behavior).
+    """
+    kernel = chaos_prefix(defenses, t_split=faults_from, obs=obs)
+    return chaos_continue(
+        kernel,
+        seed,
+        duration_ns,
+        wcet_overrun_rate=wcet_overrun_rate,
+        crash_rate=crash_rate,
+        clock_jitter_rate=clock_jitter_rate,
+        defenses=defenses,
+        burst_end_ns=burst_end_ns,
+        plan=plan,
+        faults_from=faults_from,
+        defense_override=defense_override,
     )
 
 
@@ -204,13 +303,27 @@ class NetChaosResult:
     signature: str = field(repr=False, default="")
 
 
-def run_net_chaos(
-    seed: int,
+@dataclass
+class NetChaosState:
+    """A paused network-chaos configuration (the shared prefix).
+
+    Everything :func:`net_chaos_continue` needs to finish the run:
+    the cluster (paused at the split point), the replicated channel,
+    the optional heartbeat monitor, and the horizon the prefix was
+    built for.  Fork- and deepcopy-snapshot safe: the cluster runs a
+    serial synchronization mode (no worker pool processes).
+    """
+
+    cluster: object
+    channel: object
+    monitor: Optional[object]
+    duration_ns: int
+
+
+def net_chaos_prefix(
     duration_ns: int = ms(1000),
     *,
     nodes: int = 4,
-    drop_p: float = 0.0,
-    corrupt_p: float = 0.0,
     dependability: bool = True,
     max_retransmits: int = 8,
     publish_period: int = ms(10),
@@ -220,26 +333,14 @@ def run_net_chaos(
     silence_node: Optional[str] = None,
     silence_at: Optional[int] = None,
     rejoin_backoff_ns: Optional[int] = None,
-) -> NetChaosResult:
-    """One seeded chaos run against the replicated-channel cluster.
+    t_split: int = 0,
+) -> NetChaosState:
+    """Build the net-chaos cluster and run its fault-free warm-up.
 
-    Builds an ``nodes``-node cluster whose writer (``n0``) publishes a
-    sequenced :class:`~repro.net.global_state.GlobalStateChannel`
-    update every ``publish_period`` while a seeded Bernoulli fault
-    hook drops/corrupts frames with probability ``drop_p`` /
-    ``corrupt_p``.  With ``dependability`` the bus retransmits
-    (bounded by ``max_retransmits``) and runs the CAN error state
-    machines; a :class:`~repro.net.membership.HeartbeatMonitor`
-    tracks liveness and re-syncs replicas on rejoin.
-
-    ``silence_node`` + ``silence_at`` crash that node's heartbeat
-    sender (and its publisher, if it is the writer) mid-run via
-    ``kernel.crash_thread``; ``rejoin_backoff_ns`` grants the sender
-    one restart after that back-off, modelling a rejoin.
-
-    Everything is a pure function of the arguments: the returned
-    ``signature`` is byte-identical across runs, processes, and
-    ``parallel_map`` worker counts.
+    Every argument shapes the prefix (the writer's publish cutoff
+    depends on ``duration_ns``, the silence event is scheduled at
+    build time), so all of them belong in a snapshot cache key.  The
+    returned state sits exactly at ``t_split``.
     """
     from repro.net.cluster import Cluster
     from repro.net.global_state import GlobalStateChannel
@@ -247,10 +348,8 @@ def run_net_chaos(
 
     if nodes < 2:
         raise ValueError("network chaos needs at least two nodes")
-    if not 0.0 <= drop_p <= 1.0 or not 0.0 <= corrupt_p <= 1.0:
-        raise ValueError("fault probabilities must be in [0, 1]")
-    if drop_p + corrupt_p > 1.0:
-        raise ValueError("drop_p + corrupt_p must not exceed 1")
+    if t_split < 0:
+        raise ValueError(f"t_split must be non-negative (got {t_split})")
 
     cluster = Cluster()
     names = [f"n{i}" for i in range(nodes)]
@@ -258,21 +357,6 @@ def run_net_chaos(
         cluster.add_node(name, Kernel(EDFScheduler(ZERO_OVERHEAD)))
     if dependability:
         cluster.enable_dependability(max_retransmits)
-
-    # Per-frame Bernoulli verdicts, consumed in deterministic
-    # arbitration order -- the wire is the only source of randomness.
-    rng = random.Random(f"netchaos:{seed}")
-
-    def fault_hook(start: int, frame) -> str:
-        r = rng.random()
-        if r < drop_p:
-            return "drop"
-        if r < drop_p + corrupt_p:
-            return "corrupt"
-        return "ok"
-
-    if drop_p or corrupt_p:
-        cluster.bus.fault_hook = fault_hook
 
     if freshness_ns is None:
         # Default bound: three publish periods of silence is stale
@@ -330,7 +414,61 @@ def run_net_chaos(
 
         victim.schedule_event(silence_at, crash, label="net-chaos-silence")
 
-    cluster.run_until(duration_ns)
+    if t_split:
+        cluster.run_until(t_split)
+    return NetChaosState(
+        cluster=cluster,
+        channel=channel,
+        monitor=monitor,
+        duration_ns=duration_ns,
+    )
+
+
+def net_chaos_continue(
+    state: NetChaosState,
+    seed: int,
+    *,
+    drop_p: float = 0.0,
+    corrupt_p: float = 0.0,
+    faults_from: int = 0,
+) -> NetChaosResult:
+    """Finish a net-chaos run from a prefix paused at ``faults_from``.
+
+    Arms the seeded Bernoulli wire-fault hook at the split point and
+    runs the cluster to the horizon the prefix was built for.  The
+    per-frame verdict stream ``random.Random(f"netchaos:{seed}")`` is
+    created here and consumed only by frames transmitted after the
+    split, so a restored continuation replays the exact cold sequence.
+    """
+    if not 0.0 <= drop_p <= 1.0 or not 0.0 <= corrupt_p <= 1.0:
+        raise ValueError("fault probabilities must be in [0, 1]")
+    if drop_p + corrupt_p > 1.0:
+        raise ValueError("drop_p + corrupt_p must not exceed 1")
+    cluster = state.cluster
+    channel = state.channel
+    monitor = state.monitor
+    if cluster.now != faults_from:
+        raise ValueError(
+            f"continuation must resume exactly at the split point "
+            f"(cluster at {cluster.now}, faults_from {faults_from})"
+        )
+
+    # Per-frame Bernoulli verdicts, consumed in deterministic
+    # arbitration order -- the wire is the only source of randomness.
+    rng = random.Random(f"netchaos:{seed}")
+
+    def fault_hook(start: int, frame) -> str:
+        r = rng.random()
+        if r < drop_p:
+            return "drop"
+        if r < drop_p + corrupt_p:
+            return "corrupt"
+        return "ok"
+
+    if drop_p or corrupt_p:
+        cluster.bus.fault_hook = fault_hook
+
+    cluster.run_until(state.duration_ns)
 
     bus = cluster.bus
     per_node_updates: Dict[str, int] = {}
@@ -354,9 +492,9 @@ def run_net_chaos(
     bus_off_events = 0
     if bus.error_states is not None:
         for node in sorted(bus.error_states):
-            state = bus.error_states[node]
-            bus_off_events += state.bus_off_events
-            error_transitions.append((node, tuple(state.transitions)))
+            err_state = bus.error_states[node]
+            bus_off_events += err_state.bus_off_events
+            error_transitions.append((node, tuple(err_state.transitions)))
     membership_events = tuple(monitor.events) if monitor is not None else ()
 
     blob = repr((
@@ -371,8 +509,8 @@ def run_net_chaos(
     ))
     return NetChaosResult(
         seed=seed,
-        duration_ns=duration_ns,
-        nodes=nodes,
+        duration_ns=state.duration_ns,
+        nodes=len(cluster.nodes),
         drop_p=drop_p,
         corrupt_p=corrupt_p,
         max_retransmits=bus.max_retransmits,
@@ -395,4 +533,71 @@ def run_net_chaos(
         membership_changes=monitor.changes if monitor is not None else 0,
         membership_events=membership_events,
         signature=hashlib.sha256(blob.encode()).hexdigest(),
+    )
+
+
+def run_net_chaos(
+    seed: int,
+    duration_ns: int = ms(1000),
+    *,
+    nodes: int = 4,
+    drop_p: float = 0.0,
+    corrupt_p: float = 0.0,
+    dependability: bool = True,
+    max_retransmits: int = 8,
+    publish_period: int = ms(10),
+    heartbeat_period: int = ms(50),
+    freshness_ns: Optional[int] = None,
+    stale_policy: str = "hold",
+    silence_node: Optional[str] = None,
+    silence_at: Optional[int] = None,
+    rejoin_backoff_ns: Optional[int] = None,
+    faults_from: int = 0,
+) -> NetChaosResult:
+    """One seeded chaos run against the replicated-channel cluster.
+
+    Builds an ``nodes``-node cluster whose writer (``n0``) publishes a
+    sequenced :class:`~repro.net.global_state.GlobalStateChannel`
+    update every ``publish_period`` while a seeded Bernoulli fault
+    hook drops/corrupts frames with probability ``drop_p`` /
+    ``corrupt_p``.  With ``dependability`` the bus retransmits
+    (bounded by ``max_retransmits``) and runs the CAN error state
+    machines; a :class:`~repro.net.membership.HeartbeatMonitor`
+    tracks liveness and re-syncs replicas on rejoin.
+
+    ``silence_node`` + ``silence_at`` crash that node's heartbeat
+    sender (and its publisher, if it is the writer) mid-run via
+    ``kernel.crash_thread``; ``rejoin_backoff_ns`` grants the sender
+    one restart after that back-off, modelling a rejoin.
+
+    ``faults_from`` is the wire-fault activation point: the cluster
+    warms up fault-free to it before the Bernoulli hook arms -- the
+    cold reference for prefix-snapshot sweeps (0 = armed from t = 0,
+    the historical behavior).
+
+    Everything is a pure function of the arguments: the returned
+    ``signature`` is byte-identical across runs, processes, and
+    ``parallel_map`` worker counts.
+    """
+    if not 0.0 <= drop_p <= 1.0 or not 0.0 <= corrupt_p <= 1.0:
+        raise ValueError("fault probabilities must be in [0, 1]")
+    if drop_p + corrupt_p > 1.0:
+        raise ValueError("drop_p + corrupt_p must not exceed 1")
+    state = net_chaos_prefix(
+        duration_ns,
+        nodes=nodes,
+        dependability=dependability,
+        max_retransmits=max_retransmits,
+        publish_period=publish_period,
+        heartbeat_period=heartbeat_period,
+        freshness_ns=freshness_ns,
+        stale_policy=stale_policy,
+        silence_node=silence_node,
+        silence_at=silence_at,
+        rejoin_backoff_ns=rejoin_backoff_ns,
+        t_split=faults_from,
+    )
+    return net_chaos_continue(
+        state, seed, drop_p=drop_p, corrupt_p=corrupt_p,
+        faults_from=faults_from,
     )

@@ -102,6 +102,18 @@ class FaultPlan:
             raise ValueError(f"unknown fault kind {kind!r}")
         return tuple(f for f in self._faults if f.kind == kind)
 
+    def after(self, time: int) -> "FaultPlan":
+        """The sub-plan of faults strictly after ``time``.
+
+        The continuation's share when a run restores from a prefix
+        snapshot at a split point: the prefix ran fault-free through
+        ``time``, so only later faults may arm.  ``time <= 0`` returns
+        the plan itself (plans are immutable).
+        """
+        if time <= 0:
+            return self
+        return FaultPlan(f for f in self._faults if f.time > time)
+
     def signature(self) -> Tuple[Tuple[int, str, str, int], ...]:
         """Hashable fingerprint used by determinism assertions."""
         return tuple((f.time, f.kind, f.target, f.magnitude) for f in self._faults)

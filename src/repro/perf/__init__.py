@@ -12,7 +12,13 @@ not the hot path itself:
   via ``python -m repro.reproduce perf --profile``;
 * :mod:`repro.perf.sweeps` -- a ``multiprocessing`` sweep runner with
   deterministic, seed-stable results that the benchmark scripts route
-  through;
+  through, plus the shared-prefix planner (:func:`prefix_map`) that
+  simulates each common warm-up prefix once and restores every sweep
+  point from a snapshot of it;
+* :mod:`repro.perf.snapshot` -- the checkpoint/restore mechanisms
+  behind that planner: fork-based copy-on-write prefix servers and
+  closure-aware in-process deepcopy snapshots with a content-addressed
+  cache, byte-identical to cold runs by construction;
 * :mod:`repro.perf.trajectory` -- the persistent machine-readable
   perf history (``BENCH_kernel.json``) that makes regressions visible
   across PRs;
@@ -23,7 +29,19 @@ not the hot path itself:
 
 from repro.perf.counters import PerfReport, collect_report
 from repro.perf.profiler import profile_call
-from repro.perf.sweeps import parallel_map, resolve_workers
+from repro.perf.snapshot import (
+    SnapshotCache,
+    SnapshotError,
+    SnapshotServer,
+    deep_snapshot,
+    resolve_snapshot_mode,
+)
+from repro.perf.sweeps import (
+    PrefixSpec,
+    parallel_map,
+    prefix_map,
+    resolve_workers,
+)
 from repro.perf.trajectory import (
     append_entry,
     check_regression,
@@ -37,6 +55,13 @@ __all__ = [
     "profile_call",
     "parallel_map",
     "resolve_workers",
+    "PrefixSpec",
+    "prefix_map",
+    "SnapshotCache",
+    "SnapshotError",
+    "SnapshotServer",
+    "deep_snapshot",
+    "resolve_snapshot_mode",
     "append_entry",
     "check_regression",
     "config_hash",

@@ -86,6 +86,11 @@ class ScheduledEvent:
         if queue is not None:
             queue._live -= 1
             queue._dead += 1
+            # A cancel-heavy queue that stops scheduling would never
+            # hit the schedule()-side trigger and peek_time() would
+            # degrade to scanning dead heads -- compact from here too.
+            if queue._dead >= _COMPACT_MIN_DEAD and queue._dead > queue._live:
+                queue._compact()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.sequence) < (other.time, other.sequence)
@@ -166,8 +171,18 @@ class EventQueue:
         return None
 
     def _compact(self) -> None:
-        """Rebuild the heap without the cancelled entries."""
-        heap = [entry for entry in self._heap if not entry[2].cancelled]
-        heapq.heapify(heap)
-        self._heap = heap
+        """Rebuild the heap without the cancelled entries.
+
+        Dropped entries are unlinked from the queue (``_queue = None``,
+        like the pop/peek trims do), so a compacted-away event no
+        longer pins the queue and its closures alive.
+        """
+        live = []
+        for entry in self._heap:
+            if entry[2].cancelled:
+                entry[2]._queue = None
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._heap = live
         self._dead = 0

@@ -137,3 +137,64 @@ class TestClockValidation:
             c.advance_by(-1)
         with pytest.raises(ValueError, match="got -5"):
             EventQueue().schedule(-5, lambda: None)
+
+
+class TestCancelTriggeredCompaction:
+    """Regression: a cancel-heavy queue that stops scheduling must
+    still compact (the threshold used to be checked only on the
+    schedule() path, so dead entries accumulated without bound and
+    peek_time() degraded to scanning them)."""
+
+    def test_cancel_storm_compacts_without_scheduling(self):
+        from repro.sim.engine import _COMPACT_MIN_DEAD
+
+        q = EventQueue()
+        events = [q.schedule(1000 + i, lambda: None) for i in range(200)]
+        # Cancel until dead (101) >= threshold (64) AND dead > live
+        # (99): the 101st cancel must fire the compaction -- with no
+        # schedule() call anywhere in between.
+        for ev in events[:101]:
+            ev.cancel()
+        assert q._dead == 0
+        assert len(q._heap) == 99
+        assert len(q) == 99
+        # The dead backlog can never again exceed both bounds.
+        for ev in events[101:150]:
+            ev.cancel()
+        assert q._dead < max(_COMPACT_MIN_DEAD, q._live + 1)
+        assert q.peek_time() == events[150].time
+
+    def test_compact_unlinks_dropped_entries(self):
+        """_compact() clears _queue on the entries it drops, exactly
+        like the pop/peek trims -- a compacted-away event must not pin
+        the queue (and its closures) alive."""
+        q = EventQueue()
+        events = [q.schedule(1000 + i, lambda: None) for i in range(200)]
+        for ev in events[:101]:
+            ev.cancel()
+        assert all(ev._queue is None for ev in events[:101])
+        assert all(ev._queue is q for ev in events[101:])
+        # A second cancel of an unlinked event stays a harmless no-op.
+        before = (q._live, q._dead)
+        events[0].cancel()
+        assert (q._live, q._dead) == before
+
+    def test_schedule_path_compaction_also_unlinks(self):
+        q = EventQueue()
+        events = [q.schedule(1000 + i, lambda: None) for i in range(80)]
+        # Cancel 65: above the min-dead floor but not above the live
+        # count (15 live < 65 dead is false? 80-65=15 live, 65 > 15 --
+        # the cancel path already compacts here, so drive the heap to
+        # a state only schedule() resolves: cancel exactly up to the
+        # floor while live still dominates.
+        for ev in events[:40]:
+            ev.cancel()
+        assert q._dead == 40  # below floor of 64: nothing compacted yet
+        q.schedule(5000, lambda: None)
+        assert q._dead == 40  # dead does not outnumber live: still lazy
+        for ev in events[40:64]:
+            ev.cancel()
+        # 64 dead vs 17 live: the threshold crossing happened on the
+        # cancel path; the heap is already clean.
+        assert q._dead == 0
+        assert all(ev._queue is None for ev in events[:64])
